@@ -1,0 +1,241 @@
+// Benchmarks regenerating every figure and table of the paper's evaluation.
+// Each benchmark runs the corresponding simulated experiment per iteration
+// and publishes the *simulated* execution times as custom metrics
+// (sim-ms-*), so `go test -bench=.` reproduces the paper's numbers while
+// also tracking host-side simulator performance.
+//
+// Run with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/exp"
+	"repro/internal/platform"
+)
+
+// reportSim publishes a simulated-time metric.
+func reportSim(b *testing.B, name string, ps float64) {
+	b.ReportMetric(ps/1e9, name)
+}
+
+// BenchmarkFig3MotivatingExample regenerates Figure 3's three versions of
+// the vector-add application (pure SW, typical coprocessor, VIM-based).
+func BenchmarkFig3MotivatingExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSim(b, "sim-ms-sw", res.Series["sw_ms"]*1e9)
+		reportSim(b, "sim-ms-typical", res.Series["typ_ms"]*1e9)
+		reportSim(b, "sim-ms-vim", res.Series["vim_ms"]*1e9)
+	}
+}
+
+// BenchmarkFig7ReadAccess regenerates Figure 7, the 4-cycle translated read.
+func BenchmarkFig7ReadAccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Series["latency_cycles"], "latency-cycles")
+	}
+}
+
+// BenchmarkFig8Adpcmdecode regenerates Figure 8 cell by cell.
+func BenchmarkFig8Adpcmdecode(b *testing.B) {
+	for _, n := range []int{2048, 4096, 8192} {
+		label := map[int]string{2048: "2KB", 4096: "4KB", 8192: "8KB"}[n]
+		b.Run("SW-"+label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.AdpcmSW(repro.Config{}, n, int64(800+n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms", rep.TotalPs())
+			}
+		})
+		b.Run("VIM-"+label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.AdpcmVIM(repro.Config{}, n, int64(800+n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms", rep.TotalPs())
+				b.ReportMetric(float64(rep.VIM.Faults), "faults")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9IDEA regenerates Figure 9 cell by cell (the normal
+// coprocessor rows exist only while the data fits the dual-port RAM).
+func BenchmarkFig9IDEA(b *testing.B) {
+	labels := map[int]string{4096: "4KB", 8192: "8KB", 16384: "16KB", 32768: "32KB"}
+	for _, n := range []int{4096, 8192, 16384, 32768} {
+		label := labels[n]
+		b.Run("SW-"+label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.IdeaSW(repro.Config{}, n, int64(900+n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms", rep.TotalPs())
+			}
+		})
+		if n <= 8192 {
+			b.Run("Normal-"+label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, err := exp.IdeaNormal(platform.EPXA1(), n, int64(900+n))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep == nil {
+						b.Fatal("normal coprocessor unexpectedly exceeded memory")
+					}
+					reportSim(b, "sim-ms", rep.TotalPs())
+				}
+			})
+		}
+		b.Run("VIM-"+label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.IdeaVIM(repro.Config{}, n, int64(900+n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms", rep.TotalPs())
+				b.ReportMetric(float64(rep.VIM.Faults), "faults")
+			}
+		})
+	}
+}
+
+// BenchmarkTableOverheads regenerates the §4.1 overhead figures.
+func BenchmarkTableOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Series["idea_imu_frac/16KB"], "idea-swimu-pct")
+		b.ReportMetric(res.Series["idea_xlat_frac/16KB"], "idea-xlat-pct")
+	}
+}
+
+// BenchmarkTablePortability regenerates the portability table.
+func BenchmarkTablePortability(b *testing.B) {
+	for _, board := range []string{"EPXA1", "EPXA4", "EPXA10"} {
+		b.Run(board, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.IdeaVIM(repro.Config{Board: board}, 16384, 777)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms", rep.TotalPs())
+				b.ReportMetric(float64(rep.VIM.Faults), "faults")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPolicies compares the replacement policies of §3.3.
+func BenchmarkAblationPolicies(b *testing.B) {
+	for _, pol := range []string{"fifo", "lru", "clock", "random"} {
+		b.Run(pol, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.IdeaVIM(repro.Config{Policy: pol, Seed: 4242}, 32768, 4242)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms", rep.TotalPs())
+				b.ReportMetric(float64(rep.VIM.Faults), "faults")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBounceBuffer measures the double-transfer penalty.
+func BenchmarkAblationBounceBuffer(b *testing.B) {
+	for _, bounce := range []bool{false, true} {
+		name := "direct"
+		if bounce {
+			name = "bounce"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.AdpcmVIM(repro.Config{BounceBuffer: bounce}, 8192, 21)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms-swdp", rep.SWDPPs)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPipelinedIMU measures the translation overhead recovery.
+func BenchmarkAblationPipelinedIMU(b *testing.B) {
+	for _, pipe := range []bool{false, true} {
+		name := "multicycle"
+		if pipe {
+			name = "pipelined"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.IdeaVIM(repro.Config{PipelinedIMU: pipe}, 16384, 32)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms-hw", rep.HWPs)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch sweeps the sequential prefetch depth.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, pf := range []int{0, 1, 2} {
+		b.Run(map[int]string{0: "off", 1: "1page", 2: "2pages"}[pf], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.AdpcmVIM(repro.Config{PrefetchPages: pf}, 8192, 51)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms", rep.TotalPs())
+				b.ReportMetric(float64(rep.VIM.Faults), "faults")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPageSize sweeps the dual-port RAM page size.
+func BenchmarkAblationPageSize(b *testing.B) {
+	for _, lg := range []uint{10, 11, 12} {
+		b.Run(map[uint]string{10: "1KB", 11: "2KB", 12: "4KB"}[lg], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.AdpcmVIM(repro.Config{PageLog: lg}, 8192, 71)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms", rep.TotalPs())
+				b.ReportMetric(float64(rep.VIM.Faults), "faults")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationChunkedBaseline compares the Figure 3 hand-chunked loop
+// against the transparent VIM on an out-of-memory dataset.
+func BenchmarkAblationChunkedBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunChunkAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSim(b, "sim-ms-chunked", res.Series["chunked_ms"]*1e9)
+		reportSim(b, "sim-ms-vim", res.Series["vim_ms"]*1e9)
+	}
+}

@@ -1,0 +1,62 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation (plus the ablations listed in DESIGN.md) on the simulated
+// platform and prints them to stdout.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run FIG8  # run one experiment by id
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment by id (e.g. FIG9)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e exp.Experiment) bool {
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			return false
+		}
+		fmt.Println(exp.Render(res))
+		return true
+	}
+
+	if *runID != "" {
+		e, ok := exp.ByID(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
+			os.Exit(2)
+		}
+		if !run(e) {
+			os.Exit(1)
+		}
+		return
+	}
+	failed := false
+	for _, e := range exp.All() {
+		if !run(e) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

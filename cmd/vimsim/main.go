@@ -1,0 +1,299 @@
+// Command vimsim runs one application on the simulated reconfigurable SoC
+// and prints the measured report — the command-line counterpart of the
+// paper's measurement runs.
+//
+// Examples:
+//
+//	vimsim -app idea -size 32768
+//	vimsim -app adpcm -size 8192 -policy lru -prefetch 1
+//	vimsim -app vecadd -size 4096 -board EPXA4 -pipelined
+//	vimsim -app idea -size 16384 -mode normal      # no-OS baseline
+//	vimsim -app idea -size 32768 -mode chunked     # hand-chunked baseline
+//	vimsim -app idea -size 16384 -mode sw          # pure software
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ideautil"
+	"repro/internal/platform"
+	"repro/internal/ref"
+	"repro/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "idea", "application: vecadd | adpcm | idea")
+	size := flag.Int("size", 16384, "input size in bytes (vecadd: per-vector bytes)")
+	board := flag.String("board", "EPXA1", "board: EPXA1 | EPXA4 | EPXA10")
+	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random")
+	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw")
+	pipelined := flag.Bool("pipelined", false, "use the pipelined IMU")
+	bounce := flag.Bool("bounce", false, "use the double-transfer (bounce buffer) page path")
+	prefetch := flag.Int("prefetch", 0, "sequential prefetch pages per fault")
+	seed := flag.Int64("seed", 1, "input data seed")
+	vcdPath := flag.String("vcd", "", "write a session waveform (VCD) to this path (vim mode only)")
+	flag.Parse()
+	vcdOut = *vcdPath
+
+	cfg := repro.Config{
+		Board:         *board,
+		Policy:        *policy,
+		PipelinedIMU:  *pipelined,
+		BounceBuffer:  *bounce,
+		PrefetchPages: *prefetch,
+		Seed:          *seed,
+	}
+
+	rep, err := run(cfg, *app, *mode, *size, *seed)
+	if errors.Is(err, baseline.ErrExceedsMemory) {
+		fmt.Printf("%s %d bytes in %q mode: exceeds available memory (the paper's Figure 9 annotation)\n",
+			*app, *size, *mode)
+		os.Exit(0)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	flushTrace()
+}
+
+func run(cfg repro.Config, app, mode string, size int, seed int64) (*core.Report, error) {
+	switch mode {
+	case "normal", "chunked":
+		return runBaseline(cfg, app, mode, size, seed)
+	case "vim", "sw":
+		return runVirtual(cfg, app, mode, size, seed)
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func runVirtual(cfg repro.Config, app, mode string, size int, seed int64) (*core.Report, error) {
+	sys, err := repro.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sys.NewProcess(app)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	switch app {
+	case "vecadd":
+		n := size / 4
+		a, err := p.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, size)
+		rng.Read(buf)
+		if err := a.Write(buf); err != nil {
+			return nil, err
+		}
+		rng.Read(buf)
+		if err := b.Write(buf); err != nil {
+			return nil, err
+		}
+		if mode == "sw" {
+			return p.RunVecAddSW(a, b, c, n), nil
+		}
+		if err := p.FPGALoad(repro.VecAddBitstream(sys.Board().Spec.Name)); err != nil {
+			return nil, err
+		}
+		if err := armTrace(p); err != nil {
+			return nil, err
+		}
+		if err := p.FPGAMapObject(repro.VecAddObjA, a, repro.In); err != nil {
+			return nil, err
+		}
+		if err := p.FPGAMapObject(repro.VecAddObjB, b, repro.In); err != nil {
+			return nil, err
+		}
+		if err := p.FPGAMapObject(repro.VecAddObjC, c, repro.Out); err != nil {
+			return nil, err
+		}
+		return p.FPGAExecute(uint32(n))
+
+	case "adpcm":
+		in, err := p.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+		out, err := p.Alloc(size * 4)
+		if err != nil {
+			return nil, err
+		}
+		packed := make([]byte, size)
+		rng.Read(packed)
+		if err := in.Write(packed); err != nil {
+			return nil, err
+		}
+		if mode == "sw" {
+			return p.RunADPCMDecodeSW(in, out)
+		}
+		if err := p.FPGALoad(repro.ADPCMBitstream(sys.Board().Spec.Name)); err != nil {
+			return nil, err
+		}
+		if err := armTrace(p); err != nil {
+			return nil, err
+		}
+		if err := p.FPGAMapObject(repro.ADPCMObjIn, in, repro.In); err != nil {
+			return nil, err
+		}
+		if err := p.FPGAMapObject(repro.ADPCMObjOut, out, repro.Out); err != nil {
+			return nil, err
+		}
+		return p.FPGAExecute(uint32(size))
+
+	case "idea":
+		size = size &^ 7
+		in, err := p.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+		out, err := p.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+		var key repro.IDEAKey
+		rng.Read(key[:])
+		plain := make([]byte, size)
+		rng.Read(plain)
+		if err := in.Write(plain); err != nil {
+			return nil, err
+		}
+		if mode == "sw" {
+			return p.RunIDEASW(key, in, out)
+		}
+		if err := p.FPGALoad(repro.IDEABitstream(sys.Board().Spec.Name)); err != nil {
+			return nil, err
+		}
+		if err := armTrace(p); err != nil {
+			return nil, err
+		}
+		if err := p.FPGAMapObject(repro.IDEAObjIn, in, repro.In); err != nil {
+			return nil, err
+		}
+		if err := p.FPGAMapObject(repro.IDEAObjOut, out, repro.Out); err != nil {
+			return nil, err
+		}
+		return p.FPGAExecute(repro.IDEAEncryptParams(key, size/8)...)
+	}
+	return nil, fmt.Errorf("unknown app %q", app)
+}
+
+func runBaseline(cfg repro.Config, app, mode string, size int, seed int64) (*core.Report, error) {
+	spec, ok := platform.SpecByName(cfg.Board)
+	if !ok {
+		return nil, fmt.Errorf("unknown board %q", cfg.Board)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch app {
+	case "idea":
+		size = size &^ 7
+		var key ref.IDEAKey
+		rng.Read(key[:])
+		in := make([]byte, size)
+		rng.Read(in)
+		r, err := baseline.NewRunner(spec, repro.IDEABitstream(spec.Name))
+		if err != nil {
+			return nil, err
+		}
+		if mode == "normal" {
+			return r.RunSingleShot(size/8, ideautil.Streams(in), ideautil.Params(key))
+		}
+		return r.RunChunked(size/8, ideautil.Streams(in), ideautil.Params(key))
+	case "adpcm":
+		in := make([]byte, size)
+		rng.Read(in)
+		r, err := baseline.NewRunner(spec, repro.ADPCMBitstream(spec.Name))
+		if err != nil {
+			return nil, err
+		}
+		if mode == "normal" {
+			return r.RunSingleShot(size, ideautil.ADPCMStreams(in), ideautil.ADPCMParams())
+		}
+		return r.RunChunked(size, ideautil.ADPCMStreams(in), ideautil.ADPCMParams())
+	default:
+		return nil, fmt.Errorf("baseline modes support idea and adpcm, not %q", app)
+	}
+}
+
+// vcdOut is the -vcd flag value; armTrace installs a recorder when set and
+// registers the deferred writer.
+var (
+	vcdOut string
+	vcdRec *trace.Recorder
+)
+
+func armTrace(p *repro.Process) error {
+	if vcdOut == "" {
+		return nil
+	}
+	rec, err := p.Session().TraceSession()
+	if err != nil {
+		return err
+	}
+	vcdRec = rec
+	return nil
+}
+
+func flushTrace() {
+	if vcdOut == "" || vcdRec == nil {
+		return
+	}
+	f, err := os.Create(vcdOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := core.WriteVCD(f, vcdRec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("waveform     %s\n", vcdOut)
+}
+
+func printReport(r *core.Report) {
+	fmt.Printf("app         %s\n", r.App)
+	fmt.Printf("board       %s\n", r.Board)
+	if r.PurePs > 0 {
+		fmt.Printf("mode        pure software\n")
+		fmt.Printf("total       %.3f ms\n", r.TotalMs())
+		return
+	}
+	fmt.Printf("policy      %s\n", r.Policy)
+	fmt.Printf("imu         %s\n", r.IMUMode)
+	fmt.Printf("total       %.3f ms\n", r.TotalMs())
+	fmt.Printf("  HW        %.3f ms\n", r.HWPs/1e9)
+	fmt.Printf("  SW(DP)    %.3f ms\n", r.SWDPPs/1e9)
+	fmt.Printf("  SW(IMU)   %.3f ms\n", r.SWIMUPs/1e9)
+	fmt.Printf("  SW(OS)    %.3f ms\n", r.SWOSPs/1e9)
+	if r.ConfigPs > 0 {
+		fmt.Printf("config      %.3f ms (FPGA_LOAD, excluded from total)\n", r.ConfigPs/1e9)
+	}
+	fmt.Printf("faults      %d\n", r.VIM.Faults)
+	fmt.Printf("evictions   %d (writebacks %d)\n", r.VIM.Evictions, r.VIM.Writebacks)
+	fmt.Printf("pages       %d loaded, %d flushed, %d load-elided, %d prefetched\n",
+		r.VIM.PagesLoaded, r.VIM.PagesFlushed, r.VIM.LoadsElided, r.VIM.Prefetches)
+	fmt.Printf("bytes       %d in, %d out\n", r.VIM.BytesIn, r.VIM.BytesOut)
+	fmt.Printf("tlb         %d accesses, %d hits, %d faults\n",
+		r.IMU.Accesses, r.IMU.Hits, r.IMU.Faults)
+	fmt.Printf("hw cycles   %d (IMU clock)\n", r.HWCy)
+}

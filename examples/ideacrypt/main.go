@@ -1,0 +1,100 @@
+// ideacrypt encrypts and then decrypts a buffer with the paper's Figure 9
+// IDEA coprocessor, demonstrating that the same unchanged coprocessor
+// handles both directions (the key schedule is inverted in software and
+// passed through the parameter page) and that datasets far beyond the
+// dual-port RAM stream transparently through the virtual interface.
+//
+// Run with: go run ./examples/ideacrypt
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const n = 32768 // 32 KB: in+out = 64 KB against 16 KB of DP RAM
+
+	rng := rand.New(rand.NewSource(2004)) // DATE 2004
+	var key repro.IDEAKey
+	rng.Read(key[:])
+	plain := make([]byte, n)
+	rng.Read(plain)
+
+	sys, err := repro.NewSystem(repro.Config{Board: "EPXA1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := sys.NewProcess("ideacrypt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := p.Alloc(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct, err := p.Alloc(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := p.Alloc(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := src.Write(plain); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := p.FPGALoad(repro.IDEABitstream("EPXA1")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Encrypt: plain -> ct.
+	if err := p.FPGAMapObject(repro.IDEAObjIn, src, repro.In); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.FPGAMapObject(repro.IDEAObjOut, ct, repro.Out); err != nil {
+		log.Fatal(err)
+	}
+	encRep, err := p.FPGAExecute(repro.IDEAEncryptParams(key, n/8)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Decrypt: ct -> back. Remapping objects is a fresh agreement between
+	// software and hardware; the coprocessor itself is untouched.
+	p.FPGAUnload()
+	if err := p.FPGALoad(repro.IDEABitstream("EPXA1")); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.FPGAMapObject(repro.IDEAObjIn, ct, repro.In); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.FPGAMapObject(repro.IDEAObjOut, back, repro.Out); err != nil {
+		log.Fatal(err)
+	}
+	decRep, err := p.FPGAExecute(repro.IDEADecryptParams(key, n/8)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctB, _ := ct.Read()
+	backB, _ := back.Read()
+	if !bytes.Equal(ctB, repro.GoldenIDEAEncrypt(key, plain)) {
+		log.Fatal("hardware ciphertext differs from the golden model")
+	}
+	if !bytes.Equal(backB, plain) {
+		log.Fatal("decryption did not recover the plaintext")
+	}
+
+	fmt.Printf("IDEA over %d KB verified against the golden model, round trip exact\n", n/1024)
+	fmt.Printf("  encrypt: %7.3f ms (%d faults, %d pages loaded)\n",
+		encRep.TotalMs(), encRep.VIM.Faults, encRep.VIM.PagesLoaded)
+	fmt.Printf("  decrypt: %7.3f ms (%d faults, %d pages loaded)\n",
+		decRep.TotalMs(), decRep.VIM.Faults, decRep.VIM.PagesLoaded)
+	fmt.Printf("  neither the application structure nor the coprocessor changed between directions\n")
+}

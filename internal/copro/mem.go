@@ -1,0 +1,125 @@
+package copro
+
+// Mem is the handshake helper coprocessor FSMs use to issue virtual-address
+// accesses over a Port. It implements the request/acknowledge protocol of
+// §3.2: assert CP_ACCESS with a stable request, wait for CP_TLBHIT (which
+// arrives four IMU cycles later in the multi-cycle implementation, or stays
+// low indefinitely while the OS services a fault), consume the data, drop
+// the request, and wait for the hit line to fall before issuing again.
+//
+// Usage inside a Coprocessor, each clock edge:
+//
+//	Eval:   m.Step()                  // advance the handshake
+//	        if m.Completed() { ... }  // response consumed this edge
+//	        if m.Ready()     { m.Read(...) or m.Write(...) }
+//	        m.Drive(fin, paramInv)    // schedule port outputs
+//	Update: m.Commit()
+type Mem struct {
+	port *Port
+	out  CPOut
+
+	state     memState
+	data      uint32
+	completed bool
+
+	// Counters for reports and tests.
+	Reads, Writes uint64
+	WaitCycles    uint64
+}
+
+type memState uint8
+
+const (
+	memIdle memState = iota
+	memIssue
+	memDrain
+)
+
+// NewMem returns a helper bound to port.
+func NewMem(port *Port) *Mem { return &Mem{port: port} }
+
+// Step advances the handshake; call first in Eval.
+func (m *Mem) Step() {
+	m.completed = false
+	imu := m.port.IMU()
+	switch m.state {
+	case memIssue:
+		if imu.TLBHit {
+			m.data = imu.DIn
+			m.out.Access = false
+			m.out.Wr = false
+			m.state = memDrain
+			m.completed = true
+		} else {
+			m.WaitCycles++
+		}
+	case memDrain:
+		if !imu.TLBHit {
+			m.state = memIdle
+		}
+	}
+}
+
+// Ready reports whether a new request may be issued this edge.
+func (m *Mem) Ready() bool { return m.state == memIdle }
+
+// Busy reports whether a request is in flight or draining.
+func (m *Mem) Busy() bool { return m.state != memIdle }
+
+// Completed reports whether a response was consumed on this edge; for reads
+// Data then holds the value.
+func (m *Mem) Completed() bool { return m.completed }
+
+// Data returns the data of the most recently completed read. Sub-word
+// values arrive lane-aligned (already shifted to bit 0 by the IMU).
+func (m *Mem) Data() uint32 { return m.data }
+
+// Read issues a read of size bytes at byte offset addr of object obj.
+// It must only be called when Ready.
+func (m *Mem) Read(obj uint8, addr uint32, size uint8) {
+	if m.state != memIdle {
+		panic("copro: Read while busy")
+	}
+	m.Reads++
+	m.out.Obj = obj
+	m.out.Addr = addr
+	m.out.Size = size
+	m.out.Wr = false
+	m.out.DOut = 0
+	m.out.Access = true
+	m.state = memIssue
+}
+
+// Write issues a write of size bytes at byte offset addr of object obj.
+// It must only be called when Ready.
+func (m *Mem) Write(obj uint8, addr uint32, size uint8, v uint32) {
+	if m.state != memIdle {
+		panic("copro: Write while busy")
+	}
+	m.Writes++
+	m.out.Obj = obj
+	m.out.Addr = addr
+	m.out.Size = size
+	m.out.Wr = true
+	m.out.DOut = v
+	m.out.Access = true
+	m.state = memIssue
+}
+
+// Drive schedules the port outputs for this edge; call last in Eval.
+func (m *Mem) Drive(fin, paramInv bool) {
+	out := m.out
+	out.Fin = fin
+	out.ParamInv = paramInv
+	m.port.SetCP(out)
+}
+
+// Commit commits the port outputs; call from Update.
+func (m *Mem) Commit() { m.port.CommitCP() }
+
+// ResetMem returns the helper to idle (coprocessor reset).
+func (m *Mem) ResetMem() {
+	m.state = memIdle
+	m.out = CPOut{}
+	m.completed = false
+}

@@ -1,0 +1,93 @@
+// Package copro defines the portable coprocessor interface of the paper's
+// Figure 4 — the CP_* signal bundle between a standardised coprocessor and
+// the Interface Management Unit — together with a handshake helper that
+// coprocessor FSMs use to issue virtual-address accesses.
+//
+// Everything on this side of the IMU is platform independent: a coprocessor
+// names an object (CP_OBJ) and a byte offset within it (CP_ADDR) and never
+// sees physical dual-port-RAM addresses, memory sizes, or allocation policy.
+package copro
+
+import "repro/internal/sim"
+
+// ParamObj is the reserved object identifier of the parameter-passing page
+// (§3.2 of the paper: scalar parameters are read from a designated page at
+// start-up, after which the coprocessor invalidates it).
+const ParamObj = 0xff
+
+// Access sizes in bytes carried on the control bundle.
+const (
+	Size8  = 1
+	Size16 = 2
+	Size32 = 4
+)
+
+// CPOut is the set of signals driven by the coprocessor, committed at the
+// coprocessor's clock edge.
+type CPOut struct {
+	Obj      uint8  // CP_OBJ: object identifier
+	Addr     uint32 // CP_ADDR: byte offset within the object
+	Size     uint8  // access width in bytes (1, 2 or 4)
+	Access   bool   // CP_ACCESS: request valid
+	Wr       bool   // CP_WR: request is a write
+	DOut     uint32 // CP_DOUT: write data
+	Fin      bool   // CP_FIN: operation complete
+	ParamInv bool   // CP_PINV: parameter page consumed, invalidate it
+}
+
+// IMUOut is the set of signals driven by the IMU towards the coprocessor.
+type IMUOut struct {
+	Start  bool   // CP_START: begin operation
+	TLBHit bool   // CP_TLBHIT: translation + memory access completed
+	DIn    uint32 // CP_DIN: read data (sub-word values are lane-aligned)
+}
+
+// Port is the wire bundle between one coprocessor and one IMU. Each side
+// owns one direction: it writes its outputs during Eval via the Set
+// methods and commits them in Update; it reads the opposite direction's
+// committed values. This enforces the two-phase synchronous contract of
+// package sim across the boundary.
+type Port struct {
+	cp  sim.Reg[CPOut]
+	imu sim.Reg[IMUOut]
+}
+
+// NewPort returns a quiescent port.
+func NewPort() *Port { return &Port{} }
+
+// CP returns the committed coprocessor-driven signals.
+func (p *Port) CP() CPOut { return p.cp.Get() }
+
+// SetCP schedules the coprocessor-driven signals (coprocessor Eval).
+func (p *Port) SetCP(v CPOut) { p.cp.Set(v) }
+
+// CommitCP commits the coprocessor-driven signals (coprocessor Update).
+func (p *Port) CommitCP() { p.cp.Commit() }
+
+// IMU returns the committed IMU-driven signals.
+func (p *Port) IMU() IMUOut { return p.imu.Get() }
+
+// SetIMU schedules the IMU-driven signals (IMU Eval).
+func (p *Port) SetIMU(v IMUOut) { p.imu.Set(v) }
+
+// CommitIMU commits the IMU-driven signals (IMU Update).
+func (p *Port) CommitIMU() { p.imu.Commit() }
+
+// Reset forces both directions to quiescent values (testbench use).
+func (p *Port) Reset() {
+	p.cp.Force(CPOut{})
+	p.imu.Force(IMUOut{})
+}
+
+// Coprocessor is a synchronous coprocessor model. It is attached to its own
+// clock domain; on every rising edge Eval reads p.IMU() and schedules
+// p.SetCP, and Update commits internal state plus the port.
+type Coprocessor interface {
+	sim.Ticker
+	// Name identifies the core (matches its bitstream identity).
+	Name() string
+	// Bind attaches the port before simulation starts.
+	Bind(p *Port)
+	// ResetCore returns the FSM to its power-on state.
+	ResetCore()
+}

@@ -1,0 +1,132 @@
+package copro
+
+import "testing"
+
+func TestPortTwoPhaseIsolation(t *testing.T) {
+	p := NewPort()
+	p.SetCP(CPOut{Access: true, Obj: 3})
+	if p.CP().Access {
+		t.Fatal("SetCP visible before CommitCP")
+	}
+	p.CommitCP()
+	if !p.CP().Access || p.CP().Obj != 3 {
+		t.Fatal("CommitCP lost data")
+	}
+	p.SetIMU(IMUOut{TLBHit: true, DIn: 7})
+	if p.IMU().TLBHit {
+		t.Fatal("SetIMU visible before CommitIMU")
+	}
+	p.CommitIMU()
+	if !p.IMU().TLBHit || p.IMU().DIn != 7 {
+		t.Fatal("CommitIMU lost data")
+	}
+	p.Reset()
+	if p.CP().Access || p.IMU().TLBHit {
+		t.Fatal("Reset did not quiesce the port")
+	}
+}
+
+func TestMemHandshakeProtocol(t *testing.T) {
+	p := NewPort()
+	m := NewMem(p)
+	if !m.Ready() || m.Busy() {
+		t.Fatal("fresh helper not idle")
+	}
+
+	// Issue a read; the request must be driven and held.
+	m.Step()
+	m.Read(4, 0x20, Size32)
+	m.Drive(false, false)
+	m.Commit()
+	cp := p.CP()
+	if !cp.Access || cp.Obj != 4 || cp.Addr != 0x20 || cp.Wr {
+		t.Fatalf("driven request wrong: %+v", cp)
+	}
+	if m.Ready() {
+		t.Fatal("helper idle with request in flight")
+	}
+
+	// A few cycles with no hit: request stays up, WaitCycles counts.
+	for i := 0; i < 3; i++ {
+		m.Step()
+		m.Drive(false, false)
+		m.Commit()
+	}
+	if !p.CP().Access {
+		t.Fatal("request dropped early")
+	}
+	if m.WaitCycles == 0 {
+		t.Fatal("wait cycles not counted")
+	}
+
+	// The IMU answers: data consumed this edge, request drops.
+	p.SetIMU(IMUOut{TLBHit: true, DIn: 0xabcd})
+	p.CommitIMU()
+	m.Step()
+	if !m.Completed() || m.Data() != 0xabcd {
+		t.Fatal("response not consumed")
+	}
+	m.Drive(false, false)
+	m.Commit()
+	if p.CP().Access {
+		t.Fatal("request still asserted after consume")
+	}
+
+	// Helper waits for the hit line to fall before going idle.
+	m.Step()
+	if m.Ready() {
+		t.Fatal("helper idle while TLBHIT still high")
+	}
+	p.SetIMU(IMUOut{})
+	p.CommitIMU()
+	m.Step()
+	if !m.Ready() {
+		t.Fatal("helper not idle after drain")
+	}
+	if m.Reads != 1 {
+		t.Fatalf("read counter = %d", m.Reads)
+	}
+}
+
+func TestMemWriteCarriesData(t *testing.T) {
+	p := NewPort()
+	m := NewMem(p)
+	m.Step()
+	m.Write(2, 0x10, Size16, 0xbeef)
+	m.Drive(true, true)
+	m.Commit()
+	cp := p.CP()
+	if !cp.Wr || cp.DOut != 0xbeef || cp.Size != Size16 {
+		t.Fatalf("write request wrong: %+v", cp)
+	}
+	if !cp.Fin || !cp.ParamInv {
+		t.Fatal("Drive flags not carried")
+	}
+	if m.Writes != 1 {
+		t.Fatalf("write counter = %d", m.Writes)
+	}
+}
+
+func TestMemPanicsOnDoubleIssue(t *testing.T) {
+	p := NewPort()
+	m := NewMem(p)
+	m.Step()
+	m.Read(0, 0, Size32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double issue did not panic")
+		}
+	}()
+	m.Read(0, 4, Size32)
+}
+
+func TestMemReset(t *testing.T) {
+	p := NewPort()
+	m := NewMem(p)
+	m.Step()
+	m.Read(0, 0, Size32)
+	m.ResetMem()
+	if !m.Ready() {
+		t.Fatal("ResetMem did not return to idle")
+	}
+}

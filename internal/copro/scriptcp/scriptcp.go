@@ -1,0 +1,234 @@
+// Package scriptcp provides a programmable coprocessor whose access
+// sequence is carried in its configuration bit-stream: each image encodes a
+// script of reads and writes over virtual objects. It exists to stress the
+// virtualisation layer with access patterns the paper's streaming
+// applications never produce — random object interleavings, re-reads of
+// written data, dirty evictions followed by reloads — and to make the
+// whole-system property tests possible: a host-side model replays the same
+// script and the two must agree bit for bit.
+//
+// The core follows the full §3.2 protocol (parameter read, parameter-page
+// invalidation, CP_FIN) so it exercises exactly the same paths as the
+// production coprocessors.
+package scriptcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitstream"
+	"repro/internal/copro"
+)
+
+// CoreName is the identity carried in bitstream images.
+const CoreName = "scriptcp"
+
+// OpKind enumerates script operations.
+type OpKind uint8
+
+const (
+	// OpRead reads (obj, addr, size) and folds the value into the
+	// running checksum.
+	OpRead OpKind = iota
+	// OpWrite writes Val at (obj, addr, size).
+	OpWrite
+	// OpWriteChecksum writes the running checksum at (obj, addr), 32-bit.
+	// It lets the host verify that every read returned exactly the
+	// modelled data.
+	OpWriteChecksum
+)
+
+// Op is one scripted access. Addr must be naturally aligned to Size.
+type Op struct {
+	Kind OpKind
+	Obj  uint8
+	Size uint8 // 1, 2 or 4 (ignored for OpWriteChecksum: always 4)
+	Addr uint32
+	Val  uint32
+}
+
+// Script is a coprocessor program.
+type Script []Op
+
+const opBytes = 12
+
+// Encode serialises the script as a bit-stream payload.
+func Encode(s Script) []byte {
+	out := make([]byte, 4+opBytes*len(s))
+	binary.LittleEndian.PutUint32(out, uint32(len(s)))
+	for i, op := range s {
+		b := out[4+i*opBytes:]
+		b[0] = byte(op.Kind)
+		b[1] = op.Obj
+		b[2] = op.Size
+		b[3] = 0
+		binary.LittleEndian.PutUint32(b[4:], op.Addr)
+		binary.LittleEndian.PutUint32(b[8:], op.Val)
+	}
+	return out
+}
+
+// Decode parses a payload produced by Encode.
+func Decode(p []byte) (Script, error) {
+	if len(p) < 4 {
+		return nil, errors.New("scriptcp: truncated payload")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if len(p) < 4+n*opBytes {
+		return nil, fmt.Errorf("scriptcp: payload holds %d bytes, need %d", len(p), 4+n*opBytes)
+	}
+	s := make(Script, n)
+	for i := range s {
+		b := p[4+i*opBytes:]
+		s[i] = Op{
+			Kind: OpKind(b[0]),
+			Obj:  b[1],
+			Size: b[2],
+			Addr: binary.LittleEndian.Uint32(b[4:]),
+			Val:  binary.LittleEndian.Uint32(b[8:]),
+		}
+		switch s[i].Kind {
+		case OpRead, OpWrite, OpWriteChecksum:
+		default:
+			return nil, fmt.Errorf("scriptcp: op %d has unknown kind %d", i, s[i].Kind)
+		}
+	}
+	return s, nil
+}
+
+// Bitstream builds a configuration image carrying the script.
+func Bitstream(device string, s Script) ([]byte, error) {
+	return bitstream.Build(bitstream.Header{
+		Device:    device,
+		Core:      CoreName,
+		CoreClock: 40_000_000,
+		IMUClock:  40_000_000,
+		LEs:       900 + uint32(len(s)),
+		Payload:   Encode(s),
+	})
+}
+
+// fold mixes a read value into the checksum, position-dependently.
+func fold(sum, v uint32, idx int) uint32 {
+	return bits.RotateLeft32(sum^v+0x9e3779b9, 7) ^ uint32(idx)*0x85ebca6b
+}
+
+type state uint8
+
+const (
+	stWaitStart state = iota
+	stParamIssue
+	stParamWait
+	stOpIssue
+	stOpWait
+	stDone
+)
+
+// Core is the scripted coprocessor model.
+type Core struct {
+	port   *copro.Port
+	mem    *copro.Mem
+	script Script
+
+	st  state
+	idx int
+	sum uint32
+}
+
+// New returns a core that will run the given script.
+func New(script Script) *Core { return &Core{script: script} }
+
+// Name implements copro.Coprocessor.
+func (c *Core) Name() string { return CoreName }
+
+// Bind implements copro.Coprocessor.
+func (c *Core) Bind(p *copro.Port) {
+	c.port = p
+	c.mem = copro.NewMem(p)
+}
+
+// ResetCore implements copro.Coprocessor.
+func (c *Core) ResetCore() {
+	c.st = stWaitStart
+	c.idx = 0
+	c.sum = 0
+	if c.mem != nil {
+		c.mem.ResetMem()
+	}
+}
+
+// Eval implements sim.Ticker.
+func (c *Core) Eval() {
+	in := c.port.IMU()
+	c.mem.Step()
+	pinv := false
+
+	if !in.Start && c.st != stWaitStart {
+		c.ResetCore()
+	}
+
+	switch c.st {
+	case stWaitStart:
+		if in.Start {
+			c.st = stParamIssue
+		}
+	case stParamIssue:
+		c.mem.Read(copro.ParamObj, 0, copro.Size32)
+		c.st = stParamWait
+	case stParamWait:
+		if c.mem.Completed() {
+			pinv = true
+			c.idx = 0
+			c.sum = 0
+			if len(c.script) == 0 {
+				c.st = stDone
+			} else {
+				c.st = stOpIssue
+			}
+		}
+	case stOpIssue:
+		if c.mem.Ready() {
+			op := c.script[c.idx]
+			switch op.Kind {
+			case OpRead:
+				c.mem.Read(op.Obj, op.Addr, op.Size)
+			case OpWrite:
+				c.mem.Write(op.Obj, op.Addr, op.Size, op.Val)
+			case OpWriteChecksum:
+				c.mem.Write(op.Obj, op.Addr, copro.Size32, c.sum)
+			}
+			c.st = stOpWait
+		}
+	case stOpWait:
+		if c.mem.Completed() {
+			op := c.script[c.idx]
+			if op.Kind == OpRead {
+				c.sum = fold(c.sum, c.mem.Data(), c.idx)
+			}
+			c.idx++
+			if c.idx >= len(c.script) {
+				c.st = stDone
+			} else {
+				c.st = stOpIssue
+			}
+		}
+	case stDone:
+	}
+
+	c.mem.Drive(c.st == stDone, pinv)
+}
+
+// Update implements sim.Ticker.
+func (c *Core) Update() { c.mem.Commit() }
+
+func init() {
+	bitstream.RegisterCore(CoreName, func(h bitstream.Header) (any, error) {
+		s, err := Decode(h.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return New(s), nil
+	})
+}

@@ -1,0 +1,141 @@
+package scriptcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func specs() []ObjSpec {
+	return []ObjSpec{
+		{ID: 0, Size: 1024, Readable: true, ReadbackSafe: true},
+		{ID: 1, Size: 2048, Readable: true, Writable: true, ReadbackSafe: true},
+		{ID: 2, Size: 512, Writable: true},
+	}
+}
+
+func TestGenerateProducesValidOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := Generate(rng, specs(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 {
+		t.Fatal("empty script")
+	}
+	if s[len(s)-1].Kind != OpWriteChecksum {
+		t.Fatal("script must end with a checksum write")
+	}
+	sizes := map[uint8]uint32{0: 1024, 1: 2048, 2: 512}
+	for i, op := range s {
+		max, ok := sizes[op.Obj]
+		if !ok {
+			t.Fatalf("op %d touches unknown object", i)
+		}
+		sz := uint32(op.Size)
+		if op.Kind == OpWriteChecksum {
+			sz = 4
+		}
+		if op.Addr%sz != 0 {
+			t.Fatalf("op %d unaligned: %+v", i, op)
+		}
+		if op.Addr+sz > max {
+			t.Fatalf("op %d out of bounds: %+v", i, op)
+		}
+		if op.Kind == OpRead && op.Obj == 2 {
+			t.Fatalf("op %d reads the write-only object", i)
+		}
+		if op.Kind == OpWrite && op.Obj == 0 {
+			t.Fatalf("op %d writes the read-only object", i)
+		}
+	}
+}
+
+func TestGenerateNeedsWritableObject(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	_, err := Generate(rng, []ObjSpec{{ID: 0, Size: 64, Readable: true}}, 10)
+	if err == nil {
+		t.Fatal("accepted object set with no writable object")
+	}
+}
+
+func TestApplyTracksWritesAndChecksum(t *testing.T) {
+	bufs := map[uint8][]byte{
+		0: {1, 2, 3, 4, 5, 6, 7, 8},
+		1: make([]byte, 8),
+	}
+	s := Script{
+		{Kind: OpRead, Obj: 0, Size: 4, Addr: 0},
+		{Kind: OpWrite, Obj: 1, Size: 2, Addr: 2, Val: 0xaabb},
+		{Kind: OpWriteChecksum, Obj: 1, Addr: 4},
+	}
+	sum, masks, err := Apply(s, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bufs[1][2] != 0xbb || bufs[1][3] != 0xaa {
+		t.Fatalf("write not applied: % x", bufs[1])
+	}
+	want := fold(0, 0x04030201, 0)
+	if sum != want {
+		t.Fatalf("sum = %#x, want %#x", sum, want)
+	}
+	// The mask covers exactly the written bytes of object 1.
+	wantMask := []bool{false, false, true, true, true, true, true, true}
+	for i, m := range wantMask {
+		if masks[1][i] != m {
+			t.Fatalf("mask[1][%d] = %v, want %v", i, masks[1][i], m)
+		}
+	}
+	// Object 0 was only read.
+	for i, m := range masks[0] {
+		if m {
+			t.Fatalf("mask[0][%d] set for a read-only access", i)
+		}
+	}
+}
+
+func TestApplyRejectsBadScript(t *testing.T) {
+	bufs := map[uint8][]byte{0: make([]byte, 4)}
+	if _, _, err := Apply(Script{{Kind: OpRead, Obj: 9, Size: 1}}, bufs); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+	if _, _, err := Apply(Script{{Kind: OpRead, Obj: 0, Size: 4, Addr: 2}}, bufs); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+	if _, _, err := Apply(Script{{Kind: OpWrite, Obj: 0, Size: 4, Addr: 4}}, bufs); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := Generate(rng, specs(), int(n%64)+1)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(Encode(s))
+		if err != nil || len(dec) != len(s) {
+			return false
+		}
+		for i := range s {
+			if dec[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	s := Script{{Kind: OpRead, Obj: 0, Size: 4}}
+	p := Encode(s)
+	p[4] = 0x7f // corrupt the kind byte
+	if _, err := Decode(p); err == nil {
+		t.Fatal("unknown op kind accepted")
+	}
+}

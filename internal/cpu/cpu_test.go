@@ -1,0 +1,146 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func testCore(t *testing.T) *Core {
+	if t != nil {
+		t.Helper()
+	}
+	sd := mem.NewSDRAM(1<<20, mem.DefaultSDRAMTiming())
+	c, err := NewCore(133_000_000, DefaultCostModel(), DefaultCacheConfig(), sd)
+	if err != nil {
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+	return c
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	c := testCore(t)
+	x := NewCtx(c)
+	x.Store32(0x100, 0xfeedface)
+	if v := x.Load32(0x100); v != 0xfeedface {
+		t.Fatalf("load = %#x, want 0xfeedface", v)
+	}
+	x.Store16(0x200, 0xbeef)
+	if v := x.Load16(0x200); v != 0xbeef {
+		t.Fatalf("load16 = %#x, want 0xbeef", v)
+	}
+	x.Store8(0x300, 0x5a)
+	if v := x.Load8(0x300); v != 0x5a {
+		t.Fatalf("load8 = %#x, want 0x5a", v)
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	c := testCore(t)
+	x := NewCtx(c)
+	before := c.Cycles()
+	x.ALU(3)
+	x.Mul()
+	x.Div()
+	x.Branch(true)
+	x.Branch(false)
+	x.Call()
+	cm := c.Cost
+	want := 3*cm.ALU + cm.Mul + cm.Div + cm.BranchTaken + cm.BranchNot + cm.Call
+	if got := c.Cycles() - before; got != want {
+		t.Fatalf("cycles = %d, want %d", got, want)
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := testCore(t)
+	x := NewCtx(c)
+	x.Load32(0x1000) // compulsory miss
+	if c.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", c.Misses)
+	}
+	m := c.Misses
+	x.Load32(0x1004) // same 32-byte line
+	if c.Misses != m {
+		t.Fatalf("second access missed (misses = %d)", c.Misses)
+	}
+	missCost := c.Cost.LoadHit + c.Cost.MissPenalty
+	hitCost := c.Cost.LoadHit
+	if missCost <= hitCost {
+		t.Fatal("miss not dearer than hit")
+	}
+}
+
+func TestCacheConflictAndWriteback(t *testing.T) {
+	c := testCore(t)
+	x := NewCtx(c)
+	cc := DefaultCacheConfig()
+	stride := uint32(cc.SizeBytes) // same index, different tag
+	x.Store32(0x0, 1)              // miss, allocates dirty line
+	x.Load32(stride)               // conflict miss, must write back dirty victim
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks)
+	}
+	if c.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", c.Misses)
+	}
+}
+
+func TestInvalidateCache(t *testing.T) {
+	c := testCore(t)
+	x := NewCtx(c)
+	x.Load32(0x40)
+	c.InvalidateCache()
+	m := c.Misses
+	x.Load32(0x40)
+	if c.Misses != m+1 {
+		t.Fatal("access after invalidate did not miss")
+	}
+}
+
+func TestResetStatsKeepsData(t *testing.T) {
+	c := testCore(t)
+	x := NewCtx(c)
+	x.Store32(0x500, 77)
+	c.ResetStats()
+	if c.Cycles() != 0 || c.Loads != 0 {
+		t.Fatal("stats not reset")
+	}
+	if v := x.Load32(0x500); v != 77 {
+		t.Fatal("data lost by ResetStats")
+	}
+}
+
+func TestQuickSequentialScanMissRate(t *testing.T) {
+	// Property: a sequential word scan of n lines misses exactly once per
+	// line (direct-mapped, line fits 8 words) when it fits the cache.
+	f := func(nLines uint8) bool {
+		n := int(nLines%64) + 1 // well under 256 lines
+		c := testCore(nil)
+		x := NewCtx(c)
+		for i := 0; i < n*8; i++ {
+			x.Load32(uint32(i * 4))
+		}
+		return c.Misses == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCoreValidation(t *testing.T) {
+	sd := mem.NewSDRAM(1024, mem.DefaultSDRAMTiming())
+	if _, err := NewCore(0, DefaultCostModel(), DefaultCacheConfig(), sd); err == nil {
+		t.Fatal("accepted zero frequency")
+	}
+	if _, err := NewCore(1, DefaultCostModel(), DefaultCacheConfig(), nil); err == nil {
+		t.Fatal("accepted nil SDRAM")
+	}
+	if _, err := NewCore(1, DefaultCostModel(), CacheConfig{SizeBytes: 100, LineBytes: 24}, sd); err == nil {
+		t.Fatal("accepted bad cache geometry")
+	}
+}

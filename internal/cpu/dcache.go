@@ -1,0 +1,58 @@
+package cpu
+
+import "fmt"
+
+// dcache is a direct-mapped, write-back, write-allocate data cache model.
+// Only hit/miss/write-back behaviour is modelled; data always lives in the
+// SDRAM byte store (the cache carries no contents).
+type dcache struct {
+	lineBytes int
+	lines     int
+	tags      []uint32
+	valid     []bool
+	dirty     []bool
+}
+
+func newDCache(cc CacheConfig) (*dcache, error) {
+	if cc.SizeBytes <= 0 || cc.LineBytes <= 0 || cc.SizeBytes%cc.LineBytes != 0 {
+		return nil, fmt.Errorf("cpu: cache size %d must be a positive multiple of line size %d",
+			cc.SizeBytes, cc.LineBytes)
+	}
+	if cc.LineBytes&(cc.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cpu: cache line size %d must be a power of two", cc.LineBytes)
+	}
+	n := cc.SizeBytes / cc.LineBytes
+	return &dcache{
+		lineBytes: cc.LineBytes,
+		lines:     n,
+		tags:      make([]uint32, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+	}, nil
+}
+
+// access simulates one access: it returns whether it hit, and whether a
+// dirty victim line had to be written back.
+func (c *dcache) access(addr uint32, write bool) (hit, writeback bool) {
+	line := addr / uint32(c.lineBytes)
+	idx := int(line) % c.lines
+	tag := line / uint32(c.lines)
+	if c.valid[idx] && c.tags[idx] == tag {
+		if write {
+			c.dirty[idx] = true
+		}
+		return true, false
+	}
+	writeback = c.valid[idx] && c.dirty[idx]
+	c.valid[idx] = true
+	c.tags[idx] = tag
+	c.dirty[idx] = write
+	return false, writeback
+}
+
+func (c *dcache) invalidate() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+}

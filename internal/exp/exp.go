@@ -1,0 +1,246 @@
+// Package exp defines one runnable experiment per figure and table of the
+// paper's evaluation (§4), plus the ablations called out in DESIGN.md.
+// Each experiment regenerates the same rows/series the paper reports;
+// cmd/experiments renders them, and the root-level benchmarks wrap them.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/ideautil"
+	"repro/internal/platform"
+	"repro/internal/ref"
+	"repro/internal/stats"
+)
+
+// Result is one experiment's rendered outcome plus machine-readable series
+// for the shape assertions in tests.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+	// Series maps a label (e.g. "speedup/4KB") to a value for tests.
+	Series map[string]float64
+}
+
+// Experiment is a registered, runnable reproduction artefact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Result, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "FIG3", Title: "Motivating example: programming-model comparison (Figure 3)", Run: RunFig3},
+		{ID: "FIG7", Title: "Translated read access timing (Figure 7)", Run: RunFig7},
+		{ID: "FIG8", Title: "adpcmdecode execution times (Figure 8)", Run: RunFig8},
+		{ID: "FIG9", Title: "IDEA execution times (Figure 9)", Run: RunFig9},
+		{ID: "OVERHEAD", Title: "Virtualisation overheads (§4.1 text)", Run: RunOverhead},
+		{ID: "PORT", Title: "Portability across devices (§4, §6)", Run: RunPortability},
+		{ID: "POLICY", Title: "Ablation: replacement policies (§3.3)", Run: RunPolicyAblation},
+		{ID: "BOUNCE", Title: "Ablation: double-transfer (bounce) page movement (§4.1)", Run: RunBounceAblation},
+		{ID: "PIPELINE", Title: "Ablation: pipelined IMU (§4.1, §6)", Run: RunPipelineAblation},
+		{ID: "PREFETCH", Title: "Ablation: sequential prefetch (§3.3)", Run: RunPrefetchAblation},
+		{ID: "PAGESIZE", Title: "Ablation: dual-port RAM page size (§3.3)", Run: RunPageSizeAblation},
+		{ID: "CHUNK", Title: "Ablation: hand-chunked baseline vs VIM (Figure 3)", Run: RunChunkAblation},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Render formats a result for terminal output.
+func Render(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(r.Series) > 0 {
+		keys := make([]string, 0, len(r.Series))
+		for k := range r.Series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("series:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.3f", k, r.Series[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ms formats picoseconds as milliseconds.
+func ms(ps float64) string { return fmt.Sprintf("%.2f", ps/1e9) }
+
+// AdpcmVIM runs the coprocessor adpcmdecode through the virtual interface.
+func AdpcmVIM(cfg repro.Config, nbytes int, seed int64) (*core.Report, error) {
+	sys, err := repro.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sys.NewProcess("adpcm")
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.Alloc(nbytes)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Alloc(nbytes * 4)
+	if err != nil {
+		return nil, err
+	}
+	packed := make([]byte, nbytes)
+	rand.New(rand.NewSource(seed)).Read(packed)
+	if err := in.Write(packed); err != nil {
+		return nil, err
+	}
+	if err := p.FPGALoad(repro.ADPCMBitstream(sys.Board().Spec.Name)); err != nil {
+		return nil, err
+	}
+	if err := p.FPGAMapObject(repro.ADPCMObjIn, in, repro.In); err != nil {
+		return nil, err
+	}
+	if err := p.FPGAMapObject(repro.ADPCMObjOut, out, repro.Out); err != nil {
+		return nil, err
+	}
+	return p.FPGAExecute(uint32(nbytes))
+}
+
+// AdpcmSW runs the pure-software decoder.
+func AdpcmSW(cfg repro.Config, nbytes int, seed int64) (*core.Report, error) {
+	sys, err := repro.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sys.NewProcess("adpcm-sw")
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.Alloc(nbytes)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Alloc(nbytes * 4)
+	if err != nil {
+		return nil, err
+	}
+	packed := make([]byte, nbytes)
+	rand.New(rand.NewSource(seed)).Read(packed)
+	if err := in.Write(packed); err != nil {
+		return nil, err
+	}
+	return p.RunADPCMDecodeSW(in, out)
+}
+
+// IdeaVIM runs the IDEA coprocessor through the virtual interface.
+func IdeaVIM(cfg repro.Config, nbytes int, seed int64) (*core.Report, error) {
+	sys, err := repro.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sys.NewProcess("idea")
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.Alloc(nbytes)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Alloc(nbytes)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var key repro.IDEAKey
+	rng.Read(key[:])
+	plain := make([]byte, nbytes)
+	rng.Read(plain)
+	if err := in.Write(plain); err != nil {
+		return nil, err
+	}
+	if err := p.FPGALoad(repro.IDEABitstream(sys.Board().Spec.Name)); err != nil {
+		return nil, err
+	}
+	if err := p.FPGAMapObject(repro.IDEAObjIn, in, repro.In); err != nil {
+		return nil, err
+	}
+	if err := p.FPGAMapObject(repro.IDEAObjOut, out, repro.Out); err != nil {
+		return nil, err
+	}
+	return p.FPGAExecute(repro.IDEAEncryptParams(key, nbytes/8)...)
+}
+
+// IdeaSW runs the pure-software cipher.
+func IdeaSW(cfg repro.Config, nbytes int, seed int64) (*core.Report, error) {
+	sys, err := repro.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sys.NewProcess("idea-sw")
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.Alloc(nbytes)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Alloc(nbytes)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var key repro.IDEAKey
+	rng.Read(key[:])
+	plain := make([]byte, nbytes)
+	rng.Read(plain)
+	if err := in.Write(plain); err != nil {
+		return nil, err
+	}
+	return p.RunIDEASW(key, in, out)
+}
+
+// IdeaNormal runs the single-shot "normal coprocessor" baseline; a nil
+// report with nil error means the dataset exceeds the available memory.
+func IdeaNormal(board platform.Spec, nbytes int, seed int64) (*core.Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var key ref.IDEAKey
+	rng.Read(key[:])
+	in := make([]byte, nbytes)
+	rng.Read(in)
+	r, err := baseline.NewRunner(board, repro.IDEABitstream(board.Name))
+	if err != nil {
+		return nil, err
+	}
+	streams := ideautil.Streams(in)
+	rep, err := r.RunSingleShot(nbytes/8, streams, ideautil.Params(key))
+	if err != nil {
+		if strings.Contains(err.Error(), "exceeds available memory") {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return rep, nil
+}

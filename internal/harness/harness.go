@@ -1,0 +1,154 @@
+// Package harness wires a coprocessor, an IMU and a dual-port RAM into a
+// runnable hardware testbench without any operating-system involvement: the
+// TLB and the memory frames are preloaded by the caller and the run fails
+// on any translation fault.
+//
+// It serves two purposes: unit-level verification of coprocessor models
+// against the golden algorithms, and the "typical coprocessor" baseline of
+// the paper's Figure 3/Figure 9, where the application manages the physical
+// memory by hand and no interface virtualisation takes place.
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/copro"
+	"repro/internal/imu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// ErrFault is returned when the coprocessor faults although the caller
+// promised a complete static mapping.
+var ErrFault = errors.New("harness: unexpected translation fault")
+
+// Config describes the bench geometry.
+type Config struct {
+	CoproHz int64
+	IMUHz   int64
+	DPBytes int
+	PageLog uint // log2 page size
+	Mode    imu.Mode
+}
+
+// DefaultConfig matches the EPXA1 running the vecadd/adpcm clock plan.
+func DefaultConfig() Config {
+	return Config{
+		CoproHz: 40_000_000,
+		IMUHz:   40_000_000,
+		DPBytes: 16 * 1024,
+		PageLog: 11,
+		Mode:    imu.MultiCycle,
+	}
+}
+
+// Bench is an assembled hardware testbench.
+type Bench struct {
+	Eng      *sim.Engine
+	CoproDom *sim.Domain
+	IMUDom   *sim.Domain
+	DP       *mem.DPRAM
+	IMU      *imu.IMU
+	Port     *copro.Port
+	Core     copro.Coprocessor
+
+	pageSize int
+}
+
+// New assembles a bench around the given core.
+func New(cfg Config, core copro.Coprocessor) (*Bench, error) {
+	if core == nil {
+		return nil, fmt.Errorf("harness: nil core")
+	}
+	dp, err := mem.NewDPRAM(cfg.DPBytes, 1<<cfg.PageLog)
+	if err != nil {
+		return nil, err
+	}
+	u, err := imu.New(imu.Config{PageShift: cfg.PageLog, Entries: dp.Pages(), Mode: cfg.Mode}, dp)
+	if err != nil {
+		return nil, err
+	}
+	port := copro.NewPort()
+	u.Bind(port)
+	core.Bind(port)
+	core.ResetCore()
+
+	eng := sim.NewEngine()
+	imuDom := eng.NewDomain("imu", cfg.IMUHz)
+	var coproDom *sim.Domain
+	if cfg.CoproHz == cfg.IMUHz {
+		coproDom = imuDom
+	} else {
+		coproDom = eng.NewDomain("copro", cfg.CoproHz)
+	}
+	// Attach the core before the IMU within a shared domain so that the
+	// deterministic order is fixed; two-phase semantics make the order
+	// observationally irrelevant, but determinism aids debugging.
+	coproDom.Attach(core)
+	imuDom.Attach(u)
+	if err := eng.Validate(); err != nil {
+		return nil, err
+	}
+	return &Bench{
+		Eng:      eng,
+		CoproDom: coproDom,
+		IMUDom:   imuDom,
+		DP:       dp,
+		IMU:      u,
+		Port:     port,
+		Core:     core,
+		pageSize: dp.PageSize(),
+	}, nil
+}
+
+// MapPage installs a static TLB mapping.
+func (b *Bench) MapPage(obj uint8, vpage uint32, frame uint8) error {
+	for i := 0; i < b.IMU.Entries(); i++ {
+		if !b.IMU.Entry(i).Valid {
+			return b.IMU.SetEntry(i, imu.TLBEntry{Valid: true, Obj: obj, VPage: vpage, Frame: frame})
+		}
+	}
+	return fmt.Errorf("harness: TLB full mapping obj %d page %d", obj, vpage)
+}
+
+// LoadFrame fills page frame f with data (port B, as the CPU would).
+func (b *Bench) LoadFrame(f int, data []byte) error { return b.DP.WritePage(f, data) }
+
+// ReadFrame returns the contents of page frame f.
+func (b *Bench) ReadFrame(f int) ([]byte, error) { return b.DP.ReadPage(f) }
+
+// SetParams writes the scalar parameter words into frame 0 and maps the
+// parameter page, following the §3.2 convention.
+func (b *Bench) SetParams(words ...uint32) error {
+	for i, w := range words {
+		if err := b.DP.WriteB(uint32(i*4), w, 0xf); err != nil {
+			return err
+		}
+	}
+	return b.MapPage(copro.ParamObj, 0, 0)
+}
+
+// Run starts the coprocessor and simulates until completion. It returns the
+// number of IMU cycles consumed. Any translation fault aborts with ErrFault
+// (this bench has no OS to service it).
+func (b *Bench) Run(maxEdges int64) (int64, error) {
+	b.IMU.Start()
+	start := b.IMUDom.Cycles()
+	_, err := b.Eng.RunUntil(func() bool {
+		return b.IMU.DonePending() || b.IMU.FaultPending()
+	}, maxEdges)
+	if err != nil {
+		return b.IMUDom.Cycles() - start, err
+	}
+	if b.IMU.FaultPending() {
+		return b.IMUDom.Cycles() - start, fmt.Errorf("%w: obj %d addr %#x",
+			ErrFault, b.IMU.FaultObj(), b.IMU.FaultAddr())
+	}
+	b.IMU.AckDone()
+	b.Eng.RunCycles(b.IMUDom, 4) // let the ack propagate and the core reset
+	return b.IMUDom.Cycles() - start, nil
+}
+
+// PageSize returns the configured page size in bytes.
+func (b *Bench) PageSize() int { return b.pageSize }

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/copro"
+	"repro/internal/copro/vecadd"
+	"repro/internal/imu"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Fatal("nil core accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.DPBytes = 1000 // not a multiple of the page size
+	if _, err := New(cfg, vecadd.New()); err == nil {
+		t.Fatal("bad DP geometry accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CoproHz = 7_000_000 // non-integer ratio vs 40 MHz
+	cfg.IMUHz = 40_000_000
+	if _, err := New(cfg, vecadd.New()); err == nil {
+		t.Fatal("non-integer clock ratio accepted")
+	}
+}
+
+func TestSetParamsWritesFrameZeroAndMaps(t *testing.T) {
+	b, err := New(DefaultConfig(), vecadd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetParams(0x11, 0x22, 0x33); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := b.DP.ReadB(4)
+	if w != 0x22 {
+		t.Fatalf("param word 1 = %#x", w)
+	}
+	// One TLB entry must map the parameter object.
+	found := false
+	for i := 0; i < b.IMU.Entries(); i++ {
+		e := b.IMU.Entry(i)
+		if e.Valid && e.Obj == copro.ParamObj {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("parameter page not mapped")
+	}
+}
+
+func TestRunFailsOnFault(t *testing.T) {
+	b, err := New(DefaultConfig(), vecadd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Params mapped but data objects absent: the first A-access faults
+	// and the bench — having no OS — must turn it into an error.
+	if err := b.SetParams(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(100000); !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want ErrFault", err)
+	}
+}
+
+func TestMapPageExhaustion(t *testing.T) {
+	b, err := New(DefaultConfig(), vecadd.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.IMU.Entries(); i++ {
+		if err := b.MapPage(0, uint32(i), uint8(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.MapPage(1, 0, 0); err == nil {
+		t.Fatal("TLB exhaustion not reported")
+	}
+}
+
+func TestRunConsumesCycles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = imu.MultiCycle
+	core := vecadd.New()
+	b, err := New(cfg, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetParams(0); err != nil { // zero elements: park at done
+		t.Fatal(err)
+	}
+	cycles, err := b.Run(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles consumed")
+	}
+	if b.PageSize() != 2048 {
+		t.Fatalf("page size = %d", b.PageSize())
+	}
+}

@@ -1,0 +1,46 @@
+// Package ideautil provides the shared baseline-runner descriptors for the
+// IDEA application (stream layout and parameter builder), used by the
+// experiments and the benchmarks.
+package ideautil
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/copro/ideacp"
+	"repro/internal/ref"
+	"repro/internal/vim"
+)
+
+// Streams returns the baseline stream layout for an IDEA run over in.
+func Streams(in []byte) []*baseline.Stream {
+	return []*baseline.Stream{
+		{ID: ideacp.ObjIn, Dir: vim.In, ItemBytes: ref.IDEABlockBytes, Data: in},
+		{ID: ideacp.ObjOut, Dir: vim.Out, ItemBytes: ref.IDEABlockBytes},
+	}
+}
+
+// Params returns the per-chunk parameter builder (block count followed by
+// the packed encryption subkeys).
+func Params(key ref.IDEAKey) baseline.ParamsFunc {
+	packed := ideacp.PackSubkeys(ref.ExpandIDEAKey(key))
+	return func(items int) []uint32 {
+		p := []uint32{uint32(items)}
+		for _, w := range packed {
+			p = append(p, w)
+		}
+		return p
+	}
+}
+
+// ADPCMStreams returns the baseline stream layout for adpcmdecode over in
+// (1 byte in, 4 bytes out per item).
+func ADPCMStreams(in []byte) []*baseline.Stream {
+	return []*baseline.Stream{
+		{ID: 0, Dir: vim.In, ItemBytes: 1, Data: in},
+		{ID: 1, Dir: vim.Out, ItemBytes: 4},
+	}
+}
+
+// ADPCMParams returns the per-chunk parameter builder for adpcmdecode.
+func ADPCMParams() baseline.ParamsFunc {
+	return func(items int) []uint32 { return []uint32{uint32(items)} }
+}

@@ -1,0 +1,53 @@
+package ideautil
+
+import (
+	"testing"
+
+	"repro/internal/ref"
+	"repro/internal/vim"
+)
+
+func TestStreamsLayout(t *testing.T) {
+	in := make([]byte, 64)
+	s := Streams(in)
+	if len(s) != 2 {
+		t.Fatalf("streams = %d, want 2", len(s))
+	}
+	if s[0].Dir != vim.In || s[1].Dir != vim.Out {
+		t.Fatal("stream directions wrong")
+	}
+	if s[0].ItemBytes != ref.IDEABlockBytes || s[1].ItemBytes != ref.IDEABlockBytes {
+		t.Fatal("item size must be one cipher block")
+	}
+	if &s[0].Data[0] != &in[0] {
+		t.Fatal("input stream must alias the caller's buffer")
+	}
+}
+
+func TestParamsShape(t *testing.T) {
+	var key ref.IDEAKey
+	key[0] = 0x42
+	p := Params(key)(100)
+	if p[0] != 100 {
+		t.Fatalf("param 0 = %d, want the item count", p[0])
+	}
+	if len(p) != 1+ref.IDEASubkeys/2 {
+		t.Fatalf("params = %d words, want %d", len(p), 1+ref.IDEASubkeys/2)
+	}
+	// First subkey is the big-endian first key halfword.
+	if uint16(p[1]) != 0x4200 {
+		t.Fatalf("subkey 0 = %#x, want 0x4200", uint16(p[1]))
+	}
+}
+
+func TestADPCMDescriptors(t *testing.T) {
+	in := make([]byte, 16)
+	s := ADPCMStreams(in)
+	if s[0].ItemBytes != 1 || s[1].ItemBytes != 4 {
+		t.Fatal("adpcm item sizes must be 1 byte in, 4 bytes out")
+	}
+	p := ADPCMParams()(7)
+	if len(p) != 1 || p[0] != 7 {
+		t.Fatalf("adpcm params = %v", p)
+	}
+}

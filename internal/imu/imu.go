@@ -1,0 +1,393 @@
+// Package imu implements the Interface Management Unit of §3.2 — the
+// hardware component that translates the virtual addresses emitted by a
+// standardised coprocessor (object identifier + offset) into physical
+// dual-port-RAM addresses, using a fully associative TLB, and that requests
+// operating-system service through an interrupt whenever translation fails
+// or the coprocessor completes.
+//
+// The model is register-transfer-level: a translation FSM advances one state
+// per IMU clock edge under the two-phase discipline of package sim, so the
+// multi-cycle timing of the paper's Figure 7 (data ready on the fourth
+// rising edge after the access is generated) is a measured property of the
+// model, not an assumption. A pipelined mode models the paper's announced
+// follow-up ("a pipelined implementation of the IMU ... expected to mask
+// almost completely the translation overhead") by sustaining one translated
+// access per IMU cycle.
+package imu
+
+import (
+	"fmt"
+
+	"repro/internal/copro"
+	"repro/internal/mem"
+)
+
+// Mode selects the translation micro-architecture.
+type Mode int
+
+const (
+	// MultiCycle is the paper's implementation: four IMU cycles per
+	// translated access (CAM match, translation-RAM read, address
+	// formation, memory access).
+	MultiCycle Mode = iota
+	// Pipelined models the follow-up implementation: the four stages are
+	// pipelined and sustain one access per cycle.
+	Pipelined
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Pipelined {
+		return "pipelined"
+	}
+	return "multicycle"
+}
+
+// Config parameterises the IMU for a platform.
+type Config struct {
+	PageShift uint // log2(page size); 11 for the 2 KB pages of the EPXA1
+	Entries   int  // TLB entries; equals the number of DP RAM page frames
+	Mode      Mode
+}
+
+// TLBEntry is one row of the translation table. The OS reads and writes
+// entries through the register window; the hardware sets Dirty and Ref and
+// stamps LastUse on hits.
+type TLBEntry struct {
+	Valid   bool
+	Obj     uint8  // object identifier
+	VPage   uint32 // virtual page number within the object
+	Frame   uint8  // DP RAM page frame
+	Dirty   bool   // set by write hits
+	Ref     bool   // set by any hit; cleared by the OS (clock policy)
+	LastUse uint64 // access stamp of the latest hit (LRU policy)
+}
+
+// Status register bits.
+const (
+	SRFault     = 1 << 0 // translation fault pending
+	SRDone      = 1 << 1 // coprocessor signalled completion
+	SRRunning   = 1 << 2 // CP_START asserted
+	SRParamFree = 1 << 3 // parameter page was invalidated by the coprocessor
+)
+
+type fsmState uint8
+
+const (
+	stIdle   fsmState = iota
+	stCAM             // CAM match
+	stXlate           // translation RAM read / physical address formation
+	stAccess          // dual-port RAM access
+	stDrop            // wait for CP_ACCESS to fall
+	stFault           // stalled awaiting OS restart
+)
+
+// pending is the state scheduled during Eval and committed in Update.
+type pending struct {
+	state    fsmState
+	req      request
+	out      copro.IMUOut
+	sr       uint32
+	ar       uint32
+	irq      bool
+	entryUpd int // TLB index to update on commit, -1 if none
+	entry    TLBEntry
+	doWrite  bool // DP write side effect on commit
+	wAddr    uint32
+	wData    uint32
+	wBE      uint8
+}
+
+// request is the latched coprocessor access.
+type request struct {
+	obj  uint8
+	addr uint32
+	size uint8
+	wr   bool
+	dout uint32
+}
+
+// Counters aggregates IMU activity for reports.
+type Counters struct {
+	Accesses    uint64 // translated accesses completed
+	Hits        uint64 // CAM hits
+	Faults      uint64 // translation faults raised
+	ParamFrees  uint64 // parameter-page invalidations
+	FaultCycles uint64 // cycles spent stalled in the fault state
+}
+
+// IMU is the interface management unit.
+type IMU struct {
+	cfg  Config
+	port *copro.Port
+	dp   *mem.DPRAM
+
+	// Architectural state (OS-visible).
+	tlb []TLBEntry
+	sr  uint32
+	ar  uint32
+	irq bool
+
+	// FSM state (two-phase: cur committed, next scheduled in Eval).
+	state fsmState
+	req   request
+
+	next pending
+	out  copro.IMUOut
+
+	// OS-requested asynchronous controls (the engine is paused when the
+	// OS runs, so these are plain flags).
+	startReq, stopReq, restartReq, ackDoneReq bool
+
+	stamp  uint64 // access counter for LastUse
+	Count  Counters
+	tlbIdx int // register-window entry selector
+
+	// Trace hooks (nil when not recording).
+	trace *TraceHooks
+}
+
+// TraceHooks lets a testbench record the port-level waveform (Figure 7).
+type TraceHooks struct {
+	// OnEdge is called at every Eval with the current cycle index and the
+	// committed port values.
+	OnEdge func(cycle uint64, cp copro.CPOut, imuOut copro.IMUOut)
+	cycle  uint64
+}
+
+// New builds an IMU over the given dual-port RAM.
+func New(cfg Config, dp *mem.DPRAM) (*IMU, error) {
+	if cfg.Entries <= 0 || cfg.Entries > 256 {
+		return nil, fmt.Errorf("imu: %d TLB entries out of range", cfg.Entries)
+	}
+	if cfg.PageShift < 4 || cfg.PageShift > 20 {
+		return nil, fmt.Errorf("imu: page shift %d out of range", cfg.PageShift)
+	}
+	if dp == nil {
+		return nil, fmt.Errorf("imu: nil DP RAM")
+	}
+	if dp.PageSize() != 1<<cfg.PageShift {
+		return nil, fmt.Errorf("imu: page shift %d does not match DP RAM page size %d",
+			cfg.PageShift, dp.PageSize())
+	}
+	if dp.Pages() != cfg.Entries {
+		return nil, fmt.Errorf("imu: %d TLB entries but %d DP RAM frames", cfg.Entries, dp.Pages())
+	}
+	return &IMU{
+		cfg: cfg,
+		dp:  dp,
+		tlb: make([]TLBEntry, cfg.Entries),
+	}, nil
+}
+
+// Bind attaches the coprocessor port.
+func (u *IMU) Bind(p *copro.Port) { u.port = p }
+
+// SetTrace installs waveform hooks.
+func (u *IMU) SetTrace(t *TraceHooks) { u.trace = t }
+
+// Config returns the configuration.
+func (u *IMU) Config() Config { return u.cfg }
+
+// camMatch looks up (obj, vpage); returns the entry index or -1.
+func (u *IMU) camMatch(obj uint8, vpage uint32) int {
+	for i := range u.tlb {
+		e := &u.tlb[i]
+		if e.Valid && e.Obj == obj && e.VPage == vpage {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eval implements sim.Ticker.
+func (u *IMU) Eval() {
+	cp := u.port.CP()
+	if u.trace != nil && u.trace.OnEdge != nil {
+		u.trace.OnEdge(u.trace.cycle, cp, u.out)
+		u.trace.cycle++
+	}
+
+	n := &u.next
+	n.state = u.state
+	n.req = u.req
+	n.out = u.out
+	n.sr = u.sr
+	n.ar = u.ar
+	n.irq = u.irq
+	n.entryUpd = -1
+	n.doWrite = false
+
+	// OS control requests (engine was paused; apply at the next edge).
+	if u.startReq {
+		u.startReq = false
+		n.out.Start = true
+		n.sr |= SRRunning
+	}
+	if u.ackDoneReq {
+		u.ackDoneReq = false
+		n.out.Start = false
+		n.sr &^= SRDone | SRRunning
+		n.irq = false
+	}
+	if u.stopReq {
+		u.stopReq = false
+		n.out.Start = false
+		n.sr &^= SRRunning
+	}
+
+	// Completion has priority over memory traffic: a well-formed
+	// coprocessor never raises CP_FIN with a request in flight.
+	if cp.Fin && n.sr&SRDone == 0 && n.sr&SRRunning != 0 {
+		n.sr |= SRDone
+		n.irq = true
+	}
+
+	// Parameter-page invalidation pulse.
+	if cp.ParamInv {
+		if i := u.camMatch(copro.ParamObj, 0); i >= 0 {
+			e := u.tlb[i]
+			e.Valid = false
+			e.Dirty = false
+			n.entryUpd = i
+			n.entry = e
+			n.sr |= SRParamFree
+			u.Count.ParamFrees++
+		}
+	}
+
+	switch u.state {
+	case stIdle:
+		if cp.Access {
+			n.req = request{obj: cp.Obj, addr: cp.Addr, size: cp.Size, wr: cp.Wr, dout: cp.DOut}
+			if u.cfg.Mode == Pipelined {
+				u.translate(n)
+			} else {
+				n.state = stCAM
+			}
+		}
+	case stCAM:
+		if i := u.camMatch(u.req.obj, u.req.addr>>u.cfg.PageShift); i >= 0 {
+			n.state = stXlate
+		} else {
+			u.raiseFault(n)
+		}
+	case stXlate:
+		n.state = stAccess
+	case stAccess:
+		u.translate(n)
+	case stDrop:
+		if !cp.Access {
+			n.out.TLBHit = false
+			n.state = stIdle
+		}
+	case stFault:
+		u.Count.FaultCycles++
+		if u.restartReq {
+			u.restartReq = false
+			n.sr &^= SRFault
+			n.irq = false
+			// Retry the latched request from the CAM stage.
+			if u.cfg.Mode == Pipelined {
+				u.translate(n)
+			} else {
+				n.state = stCAM
+			}
+		}
+	}
+}
+
+// translate performs CAM match + memory access in one step (the final stage
+// of the multi-cycle FSM, or the whole pipelined access).
+func (u *IMU) translate(n *pending) {
+	r := n.req
+	vpage := r.addr >> u.cfg.PageShift
+	i := u.camMatch(r.obj, vpage)
+	if i < 0 {
+		u.raiseFault(n)
+		return
+	}
+	e := u.tlb[i]
+	u.stamp++
+	e.Ref = true
+	e.LastUse = u.stamp
+	offset := r.addr & (1<<u.cfg.PageShift - 1)
+	phys := u.dp.PageBase(int(e.Frame)) + offset
+	wordAddr := phys &^ 3
+	lane := phys & 3
+
+	if r.wr {
+		e.Dirty = true
+		var be uint8
+		switch r.size {
+		case copro.Size8:
+			be = 1 << lane
+		case copro.Size16:
+			be = 3 << lane
+		default:
+			be = 0xf
+		}
+		n.doWrite = true
+		n.wAddr = wordAddr
+		n.wData = r.dout << (8 * lane)
+		n.wBE = be
+	} else {
+		word, err := u.dp.ReadA(wordAddr)
+		if err != nil {
+			// A translated address can only be out of range if the
+			// TLB was misprogrammed; treat as a fault for the OS.
+			u.raiseFault(n)
+			return
+		}
+		v := word >> (8 * lane)
+		switch r.size {
+		case copro.Size8:
+			v &= 0xff
+		case copro.Size16:
+			v &= 0xffff
+		}
+		n.out.DIn = v
+	}
+	n.entryUpd = i
+	n.entry = e
+	n.out.TLBHit = true
+	n.state = stDrop
+	u.Count.Accesses++
+	u.Count.Hits++
+}
+
+// raiseFault latches the fault cause and interrupts the OS.
+func (u *IMU) raiseFault(n *pending) {
+	n.state = stFault
+	n.sr |= SRFault
+	n.ar = uint32(n.req.obj)<<24 | n.req.addr&0x00ffffff
+	n.irq = true
+	u.Count.Faults++
+}
+
+// Update implements sim.Ticker.
+func (u *IMU) Update() {
+	n := &u.next
+	if n.doWrite {
+		// The translated store hits the DP RAM exactly once, at commit.
+		if err := u.dp.WriteA(n.wAddr, n.wData, n.wBE); err != nil {
+			// Unreachable when the TLB is consistent; keep the model
+			// honest by dropping the hit and faulting instead.
+			n.state = stFault
+			n.sr |= SRFault
+			n.irq = true
+			n.out.TLBHit = false
+		}
+	}
+	if n.entryUpd >= 0 {
+		u.tlb[n.entryUpd] = n.entry
+	}
+	u.state = n.state
+	u.req = n.req
+	u.sr = n.sr
+	u.ar = n.ar
+	u.irq = n.irq
+	u.out = n.out
+	u.port.SetIMU(n.out)
+	u.port.CommitIMU()
+}

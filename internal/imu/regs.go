@@ -1,0 +1,211 @@
+package imu
+
+import (
+	"fmt"
+
+	"repro/internal/amba"
+)
+
+// Register-window word offsets (the IMU's AHB slave interface, Figure 4's
+// AR/SR/CR block plus the TLB access port).
+const (
+	RegSR       = 0x00 // status (RO)
+	RegAR       = 0x04 // fault address (RO): obj<<24 | byte address
+	RegCR       = 0x08 // control (WO)
+	RegTLBIdx   = 0x0c // TLB entry selector (RW)
+	RegTLBLo    = 0x10 // selected entry: valid|obj|vpage (RW)
+	RegTLBHi    = 0x14 // selected entry: frame|dirty|ref (RW)
+	RegTLBCount = 0x18 // number of TLB entries (RO)
+	RegLastUse  = 0x1c // LastUse stamp of the selected entry (RO)
+	RegWindow   = 0x20 // total window size in bytes
+)
+
+// Control register bits.
+const (
+	CRStart   = 1 << 0 // assert CP_START
+	CRRestart = 1 << 1 // resume translation after fault service
+	CRAckDone = 1 << 2 // acknowledge completion, deassert CP_START
+	CRStop    = 1 << 3 // deassert CP_START without acknowledging
+	CRClrPF   = 1 << 4 // clear the parameter-free status bit
+)
+
+// --- Direct (engine-paused) OS accessors -------------------------------
+
+// SR returns the status register.
+func (u *IMU) SR() uint32 { return u.sr }
+
+// AR returns the fault address register.
+func (u *IMU) AR() uint32 { return u.ar }
+
+// IRQ reports whether the interrupt line is asserted.
+func (u *IMU) IRQ() bool { return u.irq }
+
+// FaultPending reports a pending translation fault.
+func (u *IMU) FaultPending() bool { return u.sr&SRFault != 0 }
+
+// DonePending reports a pending completion notification.
+func (u *IMU) DonePending() bool { return u.sr&SRDone != 0 }
+
+// ParamFree reports that the coprocessor has released the parameter page.
+func (u *IMU) ParamFree() bool { return u.sr&SRParamFree != 0 }
+
+// ClearParamFree clears the parameter-free status bit (VIM bookkeeping).
+func (u *IMU) ClearParamFree() { u.sr &^= SRParamFree }
+
+// FaultObj decodes the faulting object identifier from AR.
+func (u *IMU) FaultObj() uint8 { return uint8(u.ar >> 24) }
+
+// FaultAddr decodes the faulting byte address from AR.
+func (u *IMU) FaultAddr() uint32 { return u.ar & 0x00ffffff }
+
+// Start requests CP_START assertion at the next hardware edge.
+func (u *IMU) Start() { u.startReq = true }
+
+// Stop requests CP_START deassertion.
+func (u *IMU) Stop() { u.stopReq = true }
+
+// Restart resumes a faulted translation after the OS has fixed the TLB.
+func (u *IMU) Restart() { u.restartReq = true }
+
+// AckDone acknowledges completion and returns the IMU to idle.
+func (u *IMU) AckDone() { u.ackDoneReq = true }
+
+// Entries returns the TLB size.
+func (u *IMU) Entries() int { return len(u.tlb) }
+
+// Entry returns TLB entry i.
+func (u *IMU) Entry(i int) TLBEntry {
+	if i < 0 || i >= len(u.tlb) {
+		return TLBEntry{}
+	}
+	return u.tlb[i]
+}
+
+// SetEntry writes TLB entry i (OS fault service; the engine is paused, and
+// real hardware likewise only allows table writes while the coprocessor is
+// stalled).
+func (u *IMU) SetEntry(i int, e TLBEntry) error {
+	if i < 0 || i >= len(u.tlb) {
+		return fmt.Errorf("imu: TLB index %d out of range", i)
+	}
+	u.tlb[i] = e
+	return nil
+}
+
+// ClearRefBits clears every entry's reference bit (clock policy sweep).
+func (u *IMU) ClearRefBits() {
+	for i := range u.tlb {
+		u.tlb[i].Ref = false
+	}
+}
+
+// InvalidateAll clears the whole TLB (end of operation).
+func (u *IMU) InvalidateAll() {
+	for i := range u.tlb {
+		u.tlb[i] = TLBEntry{}
+	}
+}
+
+// ResetCounters zeroes the activity counters (between experiment runs).
+func (u *IMU) ResetCounters() { u.Count = Counters{} }
+
+// --- Register window encoding ------------------------------------------
+
+func packLo(e TLBEntry) uint32 {
+	v := uint32(0)
+	if e.Valid {
+		v |= 1
+	}
+	v |= uint32(e.Obj) << 1
+	v |= (e.VPage & 0x7fff) << 9
+	return v
+}
+
+func unpackLo(v uint32, e *TLBEntry) {
+	e.Valid = v&1 != 0
+	e.Obj = uint8(v >> 1)
+	e.VPage = v >> 9 & 0x7fff
+}
+
+func packHi(e TLBEntry) uint32 {
+	v := uint32(e.Frame)
+	if e.Dirty {
+		v |= 1 << 8
+	}
+	if e.Ref {
+		v |= 1 << 9
+	}
+	return v
+}
+
+func unpackHi(v uint32, e *TLBEntry) {
+	e.Frame = uint8(v)
+	e.Dirty = v&(1<<8) != 0
+	e.Ref = v&(1<<9) != 0
+}
+
+// RegRead implements the slave read path of the register window.
+func (u *IMU) RegRead(off uint32) (uint32, error) {
+	switch off {
+	case RegSR:
+		return u.sr, nil
+	case RegAR:
+		return u.ar, nil
+	case RegTLBIdx:
+		return uint32(u.tlbIdx), nil
+	case RegTLBLo:
+		return packLo(u.Entry(u.tlbIdx)), nil
+	case RegTLBHi:
+		return packHi(u.Entry(u.tlbIdx)), nil
+	case RegTLBCount:
+		return uint32(len(u.tlb)), nil
+	case RegLastUse:
+		return uint32(u.Entry(u.tlbIdx).LastUse), nil
+	default:
+		return 0, fmt.Errorf("imu: read from unmapped register %#x", off)
+	}
+}
+
+// RegWrite implements the slave write path of the register window.
+func (u *IMU) RegWrite(off uint32, v uint32) error {
+	switch off {
+	case RegCR:
+		if v&CRStart != 0 {
+			u.Start()
+		}
+		if v&CRRestart != 0 {
+			u.Restart()
+		}
+		if v&CRAckDone != 0 {
+			u.AckDone()
+		}
+		if v&CRStop != 0 {
+			u.Stop()
+		}
+		if v&CRClrPF != 0 {
+			u.ClearParamFree()
+		}
+		return nil
+	case RegTLBIdx:
+		if int(v) >= len(u.tlb) {
+			return fmt.Errorf("imu: TLB index %d out of range", v)
+		}
+		u.tlbIdx = int(v)
+		return nil
+	case RegTLBLo:
+		e := u.Entry(u.tlbIdx)
+		unpackLo(v, &e)
+		return u.SetEntry(u.tlbIdx, e)
+	case RegTLBHi:
+		e := u.Entry(u.tlbIdx)
+		unpackHi(v, &e)
+		return u.SetEntry(u.tlbIdx, e)
+	default:
+		return fmt.Errorf("imu: write to unmapped register %#x", off)
+	}
+}
+
+// Slave returns an AHB slave exposing the register window.
+func (u *IMU) Slave() amba.Slave {
+	return &amba.RegSlave{Label: "imu-regs", ReadFn: u.RegRead, WriteFn: u.RegWrite}
+}

@@ -1,0 +1,99 @@
+// Package mem provides the memory models of the reconfigurable SoC: the
+// on-chip dual-port RAM shared between the PLD and the processor, the
+// external SDRAM holding user-space data, and the flash device storing
+// configuration bitstreams.
+//
+// All models are functional (they hold real bytes) and carry the timing
+// parameters the bus and CPU models need to cost accesses.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfRange is returned for accesses outside a device.
+var ErrOutOfRange = errors.New("mem: access out of range")
+
+// ByteStore is a flat byte-addressable storage with 32-bit word helpers.
+// Words are little-endian, matching the ARM stripe configuration.
+type ByteStore struct {
+	data []byte
+}
+
+// NewByteStore allocates a zeroed store of the given size.
+func NewByteStore(size int) *ByteStore {
+	return &ByteStore{data: make([]byte, size)}
+}
+
+// Size returns the store capacity in bytes.
+func (s *ByteStore) Size() int { return len(s.data) }
+
+// InRange reports whether [addr, addr+n) lies inside the store.
+func (s *ByteStore) InRange(addr uint32, n int) bool {
+	return int64(addr)+int64(n) <= int64(len(s.data))
+}
+
+// Byte returns the byte at addr.
+func (s *ByteStore) Byte(addr uint32) (byte, error) {
+	if !s.InRange(addr, 1) {
+		return 0, fmt.Errorf("%w: byte read at %#x (size %#x)", ErrOutOfRange, addr, len(s.data))
+	}
+	return s.data[addr], nil
+}
+
+// SetByte stores b at addr.
+func (s *ByteStore) SetByte(addr uint32, b byte) error {
+	if !s.InRange(addr, 1) {
+		return fmt.Errorf("%w: byte write at %#x (size %#x)", ErrOutOfRange, addr, len(s.data))
+	}
+	s.data[addr] = b
+	return nil
+}
+
+// Read32 returns the little-endian word at addr (no alignment requirement;
+// the bus models enforce their own alignment rules).
+func (s *ByteStore) Read32(addr uint32) (uint32, error) {
+	if !s.InRange(addr, 4) {
+		return 0, fmt.Errorf("%w: word read at %#x (size %#x)", ErrOutOfRange, addr, len(s.data))
+	}
+	d := s.data[addr:]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+}
+
+// Write32 stores the little-endian word v at addr, honouring the byte-enable
+// mask be (bit i enables byte lane i).
+func (s *ByteStore) Write32(addr uint32, v uint32, be uint8) error {
+	if !s.InRange(addr, 4) {
+		return fmt.Errorf("%w: word write at %#x (size %#x)", ErrOutOfRange, addr, len(s.data))
+	}
+	for lane := 0; lane < 4; lane++ {
+		if be&(1<<lane) != 0 {
+			s.data[addr+uint32(lane)] = byte(v >> (8 * lane))
+		}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (s *ByteStore) ReadBytes(addr uint32, n int) ([]byte, error) {
+	if !s.InRange(addr, n) {
+		return nil, fmt.Errorf("%w: block read at %#x+%#x (size %#x)", ErrOutOfRange, addr, n, len(s.data))
+	}
+	out := make([]byte, n)
+	copy(out, s.data[addr:])
+	return out, nil
+}
+
+// WriteBytes copies p into the store starting at addr.
+func (s *ByteStore) WriteBytes(addr uint32, p []byte) error {
+	if !s.InRange(addr, len(p)) {
+		return fmt.Errorf("%w: block write at %#x+%#x (size %#x)", ErrOutOfRange, addr, len(p), len(s.data))
+	}
+	copy(s.data[addr:], p)
+	return nil
+}
+
+// Raw exposes the backing slice for zero-copy read access by trusted models
+// (the VIM's transfer engine). Callers must not grow it.
+func (s *ByteStore) Raw() []byte { return s.data }

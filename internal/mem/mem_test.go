@@ -1,0 +1,179 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteStoreWordRoundTrip(t *testing.T) {
+	s := NewByteStore(64)
+	if err := s.Write32(8, 0xdeadbeef, 0xf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read32(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef {
+		t.Fatalf("read %#x, want 0xdeadbeef", v)
+	}
+	// Little-endian layout.
+	b, _ := s.Byte(8)
+	if b != 0xef {
+		t.Fatalf("byte 0 = %#x, want 0xef (little endian)", b)
+	}
+}
+
+func TestByteStoreByteEnables(t *testing.T) {
+	s := NewByteStore(8)
+	if err := s.Write32(0, 0xffffffff, 0xf); err != nil {
+		t.Fatal(err)
+	}
+	// Write only lanes 1 and 2.
+	if err := s.Write32(0, 0x00aabb00, 0x6); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Read32(0)
+	if v != 0xffaabbff {
+		t.Fatalf("read %#x, want 0xffaabbff", v)
+	}
+}
+
+func TestByteStoreOutOfRange(t *testing.T) {
+	s := NewByteStore(4)
+	if _, err := s.Read32(1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Read32(1) err = %v, want ErrOutOfRange", err)
+	}
+	if err := s.SetByte(4, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("WriteByte(4) err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := s.ReadBytes(0, 5); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ReadBytes err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestQuickByteStoreBlockRoundTrip(t *testing.T) {
+	s := NewByteStore(4096)
+	f := func(off uint16, data []byte) bool {
+		addr := uint32(off) % 2048
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		if err := s.WriteBytes(addr, data); err != nil {
+			return false
+		}
+		got, err := s.ReadBytes(addr, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPRAMGeometry(t *testing.T) {
+	d, err := NewDPRAM(16*1024, 2*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pages() != 8 {
+		t.Fatalf("pages = %d, want 8", d.Pages())
+	}
+	if d.PageBase(3) != 6*1024 {
+		t.Fatalf("PageBase(3) = %#x, want %#x", d.PageBase(3), 6*1024)
+	}
+	if _, err := NewDPRAM(1000, 256); err == nil {
+		t.Fatal("accepted non-multiple size")
+	}
+}
+
+func TestDPRAMPortsShareStorage(t *testing.T) {
+	d, _ := NewDPRAM(4096, 1024)
+	if err := d.WriteA(100, 0x12345678, 0xf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.ReadB(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x12345678 {
+		t.Fatalf("port B read %#x, want 0x12345678", v)
+	}
+	if d.WritesA != 1 || d.ReadsB != 1 {
+		t.Fatalf("counters A=%d B=%d, want 1,1", d.WritesA, d.ReadsB)
+	}
+}
+
+func TestDPRAMPageIO(t *testing.T) {
+	d, _ := NewDPRAM(4096, 1024)
+	page := make([]byte, 1024)
+	for i := range page {
+		page[i] = byte(i * 7)
+	}
+	if err := d.WritePage(2, page); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadPage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("page round trip mismatch")
+	}
+	if err := d.WritePage(4, page); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("WritePage(4) err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestSDRAMBurstCost(t *testing.T) {
+	tm := SDRAMTiming{FirstWord: 6, NextWord: 1, BurstLen: 8}
+	cases := []struct {
+		words int
+		want  int64
+	}{
+		{0, 0},
+		{1, 6},
+		{8, 13},      // 6 + 7
+		{16, 26},     // two full bursts
+		{9, 13 + 6},  // full burst + single
+		{12, 13 + 9}, // full burst + 4-beat remainder
+	}
+	for _, c := range cases {
+		if got := tm.CostWords(c.words); got != c.want {
+			t.Errorf("CostWords(%d) = %d, want %d", c.words, got, c.want)
+		}
+	}
+}
+
+func TestQuickSDRAMCostMonotonic(t *testing.T) {
+	tm := DefaultSDRAMTiming()
+	f := func(a, b uint8) bool {
+		x, y := int(a%200), int(b%200)
+		if x > y {
+			x, y = y, x
+		}
+		return tm.CostWords(x) <= tm.CostWords(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlashProgramAndRead(t *testing.T) {
+	f := NewFlash(1 << 16)
+	img := []byte{1, 2, 3, 4, 5, 6, 7}
+	if err := f.Program(0x100, img); err != nil {
+		t.Fatal(err)
+	}
+	got, cost, err := f.ReadImage(0x100, len(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("flash image mismatch")
+	}
+	if cost != 2*f.ReadCost { // 7 bytes = 2 words
+		t.Fatalf("cost = %d, want %d", cost, 2*f.ReadCost)
+	}
+}

@@ -1,0 +1,91 @@
+package mem
+
+import "fmt"
+
+// SDRAMTiming carries the access-cost parameters of the external SDRAM, in
+// memory-controller clock cycles. The defaults approximate a PC100-class
+// part behind the Excalibur's SDRAM controller.
+type SDRAMTiming struct {
+	// FirstWord is the latency of the first beat of an access (row
+	// activation + CAS, amortised).
+	FirstWord int64
+	// NextWord is the cost of each subsequent sequential beat of a burst.
+	NextWord int64
+	// BurstLen is the natural burst length in 32-bit words.
+	BurstLen int
+}
+
+// DefaultSDRAMTiming returns the timing used by the board models.
+func DefaultSDRAMTiming() SDRAMTiming {
+	return SDRAMTiming{FirstWord: 6, NextWord: 1, BurstLen: 8}
+}
+
+// CostWords returns the cycle cost of transferring n sequential words.
+func (t SDRAMTiming) CostWords(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	bl := t.BurstLen
+	if bl <= 0 {
+		bl = 1
+	}
+	full := n / bl
+	rem := n % bl
+	cost := int64(full) * (t.FirstWord + int64(bl-1)*t.NextWord)
+	if rem > 0 {
+		cost += t.FirstWord + int64(rem-1)*t.NextWord
+	}
+	return cost
+}
+
+// SDRAM is the external memory holding user-space process data. It is an
+// AHB slave; its timing is consulted both by the bus model (kernel copies)
+// and the timed CPU model (cache refills).
+type SDRAM struct {
+	store  *ByteStore
+	Timing SDRAMTiming
+}
+
+// NewSDRAM allocates an SDRAM model of the given size.
+func NewSDRAM(size int, timing SDRAMTiming) *SDRAM {
+	return &SDRAM{store: NewByteStore(size), Timing: timing}
+}
+
+// Size returns the capacity in bytes.
+func (s *SDRAM) Size() int { return s.store.Size() }
+
+// Store exposes the backing byte store.
+func (s *SDRAM) Store() *ByteStore { return s.store }
+
+// Flash models the configuration flash holding bitstreams. Reads are slow
+// and word-wide; the model only needs bulk retrieval and a programming
+// operation for the loader.
+type Flash struct {
+	store *ByteStore
+	// ReadCost is the controller cycles per 32-bit word read.
+	ReadCost int64
+}
+
+// NewFlash allocates a flash model of the given size.
+func NewFlash(size int) *Flash {
+	return &Flash{store: NewByteStore(size), ReadCost: 12}
+}
+
+// Size returns the capacity in bytes.
+func (f *Flash) Size() int { return f.store.Size() }
+
+// Program writes image at offset (the board provisioning step).
+func (f *Flash) Program(offset uint32, image []byte) error {
+	return f.store.WriteBytes(offset, image)
+}
+
+// ReadImage retrieves n bytes at offset and the controller cycle cost of
+// doing so.
+func (f *Flash) ReadImage(offset uint32, n int) ([]byte, int64, error) {
+	b, err := f.store.ReadBytes(offset, n)
+	if err != nil {
+		return nil, 0, fmt.Errorf("flash: %w", err)
+	}
+	words := int64((n + 3) / 4)
+	return b, words * f.ReadCost, nil
+}

@@ -1,0 +1,94 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/copro/vecadd"
+)
+
+func TestSpecsAreConsistent(t *testing.T) {
+	for _, spec := range []Spec{EPXA1(), EPXA4(), EPXA10()} {
+		if spec.DPBytes%(1<<spec.PageLog) != 0 {
+			t.Errorf("%s: DP RAM %d not a multiple of page size", spec.Name, spec.DPBytes)
+		}
+		if spec.CPUHz <= 0 || spec.BusDiv <= 0 {
+			t.Errorf("%s: bad clocks", spec.Name)
+		}
+	}
+	if EPXA4().DPBytes <= EPXA1().DPBytes || EPXA10().DPBytes <= EPXA4().DPBytes {
+		t.Error("DP RAM sizes must grow EPXA1 < EPXA4 < EPXA10")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"", "EPXA1", "epxa4", "EPXA10"} {
+		if _, ok := SpecByName(name); !ok {
+			t.Errorf("SpecByName(%q) failed", name)
+		}
+	}
+	if _, ok := SpecByName("EPXA99"); ok {
+		t.Error("unknown board accepted")
+	}
+}
+
+func TestNewBoardWiresAddressMap(t *testing.T) {
+	b, err := NewBoard(EPXA1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SDRAM reachable at its base.
+	if err := b.Bus.Write32(SDRAMBase+0x100, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	// DP RAM reachable through its window.
+	if err := b.Bus.Write32(DPBase+4, 0x55667788); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.DP.ReadB(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x55667788 {
+		t.Fatalf("DP RAM via bus = %#x", v)
+	}
+	// IMU registers reachable.
+	if _, err := b.Bus.Read32(IMURegBase); err != nil {
+		t.Fatal(err)
+	}
+	// The largest board must also wire cleanly (no address overlap).
+	if _, err := NewBoard(EPXA10()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleValidatesClocks(t *testing.T) {
+	b, err := NewBoard(EPXA1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := vecadd.New()
+	if _, err := b.Assemble(0, 40_000_000, core); err == nil {
+		t.Fatal("zero core clock accepted")
+	}
+	if _, err := b.Assemble(40_000_000, 40_000_000, nil); err == nil {
+		t.Fatal("nil core accepted")
+	}
+	// Non-integer ratio must be rejected by the engine validation.
+	if _, err := b.Assemble(7_000_000, 24_000_000, core); err == nil {
+		t.Fatal("non-integer clock ratio accepted")
+	}
+	hw, err := b.Assemble(6_000_000, 24_000_000, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.CoproDom == hw.IMUDom {
+		t.Fatal("distinct clocks must produce distinct domains")
+	}
+	hw2, err := b.Assemble(40_000_000, 40_000_000, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw2.CoproDom != hw2.IMUDom {
+		t.Fatal("equal clocks should share one domain")
+	}
+}

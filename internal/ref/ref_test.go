@@ -1,0 +1,207 @@
+package ref
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestADPCMOutputIsFourTimesInput(t *testing.T) {
+	in := make([]byte, 2048) // 2 KB, the paper's smallest input
+	out := ADPCMDecode(ADPCMState{}, in)
+	if got := len(out) * 2; got != len(in)*4 {
+		t.Fatalf("output bytes = %d, want %d (4x input)", got, len(in)*4)
+	}
+}
+
+func TestADPCMDecodeKnownRamp(t *testing.T) {
+	// Encoding a constant then decoding must stay near the constant once
+	// the codec has adapted; a pure smoke test of codec sanity.
+	samples := make([]int16, 256)
+	for i := range samples {
+		samples[i] = 1000
+	}
+	packed := ADPCMEncode(ADPCMState{}, samples)
+	dec := ADPCMDecode(ADPCMState{}, packed)
+	if len(dec) != len(samples) {
+		t.Fatalf("decoded %d samples, want %d", len(dec), len(samples))
+	}
+	tail := dec[len(dec)-1]
+	if tail < 900 || tail > 1100 {
+		t.Fatalf("decoder did not converge: tail = %d", tail)
+	}
+}
+
+func TestADPCMEncodeDecodeTracksSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 4096
+	samples := make([]int16, n)
+	phase := 0.0
+	for i := range samples {
+		phase += 0.05 + rng.Float64()*0.01
+		samples[i] = int16(8000 * sin(phase))
+	}
+	packed := ADPCMEncode(ADPCMState{}, samples)
+	dec := ADPCMDecode(ADPCMState{}, packed)
+	// ADPCM is lossy: assert bounded mean absolute error relative to the
+	// signal amplitude.
+	var mae float64
+	for i := range samples {
+		d := float64(samples[i]) - float64(dec[i])
+		if d < 0 {
+			d = -d
+		}
+		mae += d
+	}
+	mae /= float64(n)
+	if mae > 1200 {
+		t.Fatalf("mean absolute error %.1f too large", mae)
+	}
+}
+
+// sin is a minimal Taylor/periodic sine so the package avoids importing
+// math just for a test helper (stdlib math is allowed; this keeps the
+// dependency surface explicit).
+func sin(x float64) float64 {
+	const twoPi = 6.283185307179586
+	for x > twoPi {
+		x -= twoPi
+	}
+	for x < 0 {
+		x += twoPi
+	}
+	if x > 3.141592653589793 {
+		return -sin(x - 3.141592653589793)
+	}
+	x2 := x * x
+	return x * (1 - x2/6*(1-x2/20*(1-x2/42)))
+}
+
+func TestQuickADPCMDecoderDeterministic(t *testing.T) {
+	f := func(data []byte, v int16, idx uint8) bool {
+		st := ADPCMState{Valprev: v, Index: int8(idx % 89)}
+		a := ADPCMDecode(st, data)
+		b := ADPCMDecode(st, data)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickADPCMIndexStaysInRange(t *testing.T) {
+	f := func(data []byte, idx uint8) bool {
+		st := ADPCMState{Index: int8(idx % 89)}
+		for _, b := range data {
+			ADPCMDecodeNibble(&st, b>>4)
+			ADPCMDecodeNibble(&st, b&0xf)
+			if st.Index < 0 || st.Index > 88 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIDEAKnownAnswer checks the classic published vector:
+// key 0001 0002 0003 0004 0005 0006 0007 0008,
+// plaintext 0000 0001 0002 0003 -> ciphertext 11FB ED2B 0198 6DE5.
+func TestIDEAKnownAnswer(t *testing.T) {
+	var key IDEAKey
+	for i := 0; i < 8; i++ {
+		key[2*i] = 0
+		key[2*i+1] = byte(i + 1)
+	}
+	ek := ExpandIDEAKey(key)
+	y1, y2, y3, y4 := IDEACryptBlock(&ek, 0, 1, 2, 3)
+	if y1 != 0x11fb || y2 != 0xed2b || y3 != 0x0198 || y4 != 0x6de5 {
+		t.Fatalf("ciphertext = %04x %04x %04x %04x, want 11fb ed2b 0198 6de5", y1, y2, y3, y4)
+	}
+	dk := InvertIDEAKey(ek)
+	p1, p2, p3, p4 := IDEACryptBlock(&dk, y1, y2, y3, y4)
+	if p1 != 0 || p2 != 1 || p3 != 2 || p4 != 3 {
+		t.Fatalf("decrypt = %04x %04x %04x %04x, want 0000 0001 0002 0003", p1, p2, p3, p4)
+	}
+}
+
+func TestQuickIDEARoundTrip(t *testing.T) {
+	f := func(key IDEAKey, x1, x2, x3, x4 uint16) bool {
+		ek := ExpandIDEAKey(key)
+		dk := InvertIDEAKey(ek)
+		y1, y2, y3, y4 := IDEACryptBlock(&ek, x1, x2, x3, x4)
+		p1, p2, p3, p4 := IDEACryptBlock(&dk, y1, y2, y3, y4)
+		return p1 == x1 && p2 == x2 && p3 == x3 && p4 == x4
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIdeaMulGroupProperties(t *testing.T) {
+	// IdeaMul forms an abelian group on [0,65535] (0 ⇔ 2^16): identity 1,
+	// commutativity, and inverse via ideaMulInv.
+	f := func(a, b uint16) bool {
+		if IdeaMul(a, 1) != a {
+			return false
+		}
+		if IdeaMul(a, b) != IdeaMul(b, a) {
+			return false
+		}
+		inv := ideaMulInv(a)
+		return IdeaMul(a, inv) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDEAApplyBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var key IDEAKey
+	rng.Read(key[:])
+	ek := ExpandIDEAKey(key)
+	dk := InvertIDEAKey(ek)
+	in := make([]byte, 4096)
+	rng.Read(in)
+	ct := IDEAApply(&ek, in)
+	pt := IDEAApply(&dk, ct)
+	for i := range in {
+		if pt[i] != in[i] {
+			t.Fatalf("byte %d: roundtrip %#x != %#x", i, pt[i], in[i])
+		}
+	}
+	// Ciphertext must differ from plaintext (overwhelming probability).
+	same := 0
+	for i := range in {
+		if ct[i] == in[i] {
+			same++
+		}
+	}
+	if same > len(in)/8 {
+		t.Fatalf("ciphertext suspiciously similar to plaintext (%d/%d bytes)", same, len(in))
+	}
+}
+
+func TestVecAdd(t *testing.T) {
+	a := []uint32{1, 2, 3, 0xffffffff}
+	b := []uint32{10, 20, 30, 2}
+	c := VecAdd(a, b)
+	want := []uint32{11, 22, 33, 1} // wraparound
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %d, want %d", i, c[i], want[i])
+		}
+	}
+}

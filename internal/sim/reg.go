@@ -1,0 +1,41 @@
+package sim
+
+// Reg is a clocked register holding a value of type T. During Eval a
+// component reads other components' registers with Get (committed value) and
+// schedules its own next value with Set; the owning component's Update must
+// call Commit. Reg is the basic building block for honouring the two-phase
+// discipline without hand-writing cur/next pairs.
+type Reg[T any] struct {
+	cur, next T
+	pending   bool
+}
+
+// NewReg returns a register initialised (and committed) to v.
+func NewReg[T any](v T) Reg[T] {
+	return Reg[T]{cur: v, next: v}
+}
+
+// Get returns the committed value.
+func (r *Reg[T]) Get() T { return r.cur }
+
+// Set schedules v to become the committed value at the next Commit.
+func (r *Reg[T]) Set(v T) {
+	r.next = v
+	r.pending = true
+}
+
+// Commit applies the value scheduled by Set, if any.
+func (r *Reg[T]) Commit() {
+	if r.pending {
+		r.cur = r.next
+		r.pending = false
+	}
+}
+
+// Force immediately sets both the committed and pending value. It is meant
+// for reset logic and testbenches, not for use during Eval.
+func (r *Reg[T]) Force(v T) {
+	r.cur = v
+	r.next = v
+	r.pending = false
+}

@@ -1,0 +1,226 @@
+// Package sim provides a deterministic, two-phase, multi-clock-domain
+// synchronous simulation kernel.
+//
+// The kernel models a set of clock domains, each with an integer frequency in
+// hertz. Synchronous components register against a domain and receive two
+// callbacks per rising edge: Eval, during which they may read the committed
+// outputs of every other component and compute their next state, and Update,
+// during which they commit that state. Because every component samples only
+// committed values during Eval, evaluation order within an edge is
+// irrelevant and the simulation is free of combinational races by
+// construction — the classic two-phase (evaluate/commit) RTL discipline.
+//
+// Edges from different domains are interleaved in exact time order without
+// floating-point time: the next edge of a domain that has ticked c cycles at
+// f hertz occurs at t = (c+1)/f seconds, and the kernel compares such
+// rationals by cross-multiplication in int64. Coincident edges (for example
+// a 6 MHz core and a 24 MHz bus every fourth bus cycle) are merged into a
+// single super-edge: all Evals run, then all Updates, preserving the
+// synchronous contract across domain boundaries.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ticker is a synchronous component driven by a clock domain.
+//
+// Eval must not modify any state observable by other components; Update
+// commits the state computed during Eval. Components that keep all state in
+// Reg values get this discipline for free.
+type Ticker interface {
+	// Eval computes the component's next state from committed inputs.
+	Eval()
+	// Update commits the state computed by the preceding Eval.
+	Update()
+}
+
+// TickerFunc adapts a pair of functions to the Ticker interface.
+type TickerFunc struct {
+	OnEval   func()
+	OnUpdate func()
+}
+
+// Eval implements Ticker.
+func (t TickerFunc) Eval() {
+	if t.OnEval != nil {
+		t.OnEval()
+	}
+}
+
+// Update implements Ticker.
+func (t TickerFunc) Update() {
+	if t.OnUpdate != nil {
+		t.OnUpdate()
+	}
+}
+
+// Domain is a clock domain with an integer frequency.
+type Domain struct {
+	name    string
+	freqHz  int64
+	cycles  int64 // rising edges already delivered
+	tickers []Ticker
+	eng     *Engine
+}
+
+// Name returns the domain name given at creation.
+func (d *Domain) Name() string { return d.name }
+
+// FreqHz returns the domain frequency in hertz.
+func (d *Domain) FreqHz() int64 { return d.freqHz }
+
+// Cycles returns the number of rising edges delivered so far.
+func (d *Domain) Cycles() int64 { return d.cycles }
+
+// PeriodPs returns the clock period in picoseconds as a float (reporting
+// only; the kernel itself never uses floating-point time).
+func (d *Domain) PeriodPs() float64 { return 1e12 / float64(d.freqHz) }
+
+// Attach registers a synchronous component with the domain.
+func (d *Domain) Attach(t Ticker) {
+	if t == nil {
+		panic("sim: Attach(nil)")
+	}
+	d.tickers = append(d.tickers, t)
+}
+
+// Engine owns a set of clock domains and advances them in time order.
+type Engine struct {
+	domains []*Domain
+	// stopErr is set by a Ticker via Fail and aborts the current Run.
+	stopErr error
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// NewDomain creates a clock domain. Frequency must be positive.
+func (e *Engine) NewDomain(name string, freqHz int64) *Domain {
+	if freqHz <= 0 {
+		panic(fmt.Sprintf("sim: domain %q: frequency %d Hz must be positive", name, freqHz))
+	}
+	d := &Domain{name: name, freqHz: freqHz, eng: e}
+	e.domains = append(e.domains, d)
+	return d
+}
+
+// Domains returns the engine's domains in creation order.
+func (e *Engine) Domains() []*Domain { return e.domains }
+
+// Fail aborts the current Run with err. It is intended to be called from a
+// Ticker when the model reaches an impossible state.
+func (e *Engine) Fail(err error) { e.stopErr = err }
+
+// edgeBefore reports whether domain a's next edge is strictly before b's.
+// Next-edge times are (a.cycles+1)/a.freq and (b.cycles+1)/b.freq; compare
+// by cross multiplication. Frequencies are bounded by ~1e9 and cycle counts
+// by the run budget, so the products stay well inside int64.
+func edgeBefore(a, b *Domain) bool {
+	return (a.cycles+1)*b.freqHz < (b.cycles+1)*a.freqHz
+}
+
+// edgeCoincident reports whether the next edges of a and b are simultaneous.
+func edgeCoincident(a, b *Domain) bool {
+	return (a.cycles+1)*b.freqHz == (b.cycles+1)*a.freqHz
+}
+
+// ErrBudget is returned by Run variants when the cycle budget is exhausted
+// before the stop condition is met.
+var ErrBudget = errors.New("sim: cycle budget exhausted")
+
+// Step delivers exactly one super-edge: the earliest pending edge across all
+// domains together with every other domain edge coincident with it. It
+// returns the domains that ticked.
+func (e *Engine) Step() []*Domain {
+	if len(e.domains) == 0 {
+		return nil
+	}
+	earliest := e.domains[0]
+	for _, d := range e.domains[1:] {
+		if edgeBefore(d, earliest) {
+			earliest = d
+		}
+	}
+	var due []*Domain
+	for _, d := range e.domains {
+		if d == earliest || edgeCoincident(d, earliest) {
+			due = append(due, d)
+		}
+	}
+	// Deterministic order: creation order is preserved because we scan
+	// e.domains in order.
+	for _, d := range due {
+		for _, t := range d.tickers {
+			t.Eval()
+		}
+	}
+	for _, d := range due {
+		for _, t := range d.tickers {
+			t.Update()
+		}
+		d.cycles++
+	}
+	return due
+}
+
+// RunUntil advances the simulation until done() reports true (checked after
+// every super-edge) or maxEdges super-edges have been delivered, whichever
+// comes first. It returns the number of super-edges delivered and ErrBudget
+// if the budget ran out, or the error passed to Fail.
+func (e *Engine) RunUntil(done func() bool, maxEdges int64) (int64, error) {
+	e.stopErr = nil
+	for n := int64(0); n < maxEdges; n++ {
+		if done != nil && done() {
+			return n, nil
+		}
+		e.Step()
+		if e.stopErr != nil {
+			return n + 1, e.stopErr
+		}
+	}
+	if done != nil && done() {
+		return maxEdges, nil
+	}
+	return maxEdges, ErrBudget
+}
+
+// RunCycles delivers exactly n rising edges to domain d (other domains tick
+// as time passes).
+func (e *Engine) RunCycles(d *Domain, n int64) {
+	target := d.cycles + n
+	for d.cycles < target {
+		e.Step()
+	}
+}
+
+// NowPs returns the current simulation time in picoseconds, defined as the
+// time of the latest delivered edge across all domains. Reporting only.
+func (e *Engine) NowPs() float64 {
+	now := 0.0
+	for _, d := range e.domains {
+		t := float64(d.cycles) / float64(d.freqHz) * 1e12
+		now = math.Max(now, t)
+	}
+	return now
+}
+
+// Validate checks cross-domain ratios: domains whose components exchange
+// signals should have integer frequency ratios so edges align. It returns a
+// descriptive error naming the first non-integer pair, or nil.
+func (e *Engine) Validate() error {
+	ds := append([]*Domain(nil), e.domains...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i].freqHz < ds[j].freqHz })
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			if ds[j].freqHz%ds[i].freqHz != 0 {
+				return fmt.Errorf("sim: domains %q (%d Hz) and %q (%d Hz) have a non-integer ratio",
+					ds[i].name, ds[i].freqHz, ds[j].name, ds[j].freqHz)
+			}
+		}
+	}
+	return nil
+}

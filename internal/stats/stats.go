@@ -1,0 +1,171 @@
+// Package stats provides the execution-time accounting used throughout the
+// reproduction: a Timeline that accumulates the paper's measured components
+// (§4.1) and formatting helpers for the experiment tables.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Component is one bucket of the execution-time breakdown.
+type Component int
+
+const (
+	// HW is time spent in the coprocessor and the IMU (computation,
+	// translated memory accesses, stalls) — the paper's "hardware
+	// execution time".
+	HW Component = iota
+	// SWDP is operating-system time moving data between user-space memory
+	// and the dual-port RAM — "software execution time for the dual-port
+	// RAM management".
+	SWDP
+	// SWIMU is operating-system time interrogating and reprogramming the
+	// IMU (fault decode, TLB updates, restart) — "software execution time
+	// for the IMU management".
+	SWIMU
+	// SWOS is residual operating-system overhead (system-call entry/exit,
+	// process wake-up). The paper folds this into its software components;
+	// reports keep it separate and also publish the folded view.
+	SWOS
+
+	numComponents
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case HW:
+		return "HW"
+	case SWDP:
+		return "SW(DP)"
+	case SWIMU:
+		return "SW(IMU)"
+	case SWOS:
+		return "SW(OS)"
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// Timeline accumulates picoseconds per component. The zero value is ready
+// to use.
+type Timeline struct {
+	ps [numComponents]float64
+}
+
+// Add accumulates d picoseconds into component c.
+func (t *Timeline) Add(c Component, ps float64) {
+	if c < 0 || c >= numComponents || ps < 0 {
+		panic(fmt.Sprintf("stats: bad Add(%v, %v)", c, ps))
+	}
+	t.ps[c] += ps
+}
+
+// AddCycles accumulates n cycles of a freqHz clock into component c.
+func (t *Timeline) AddCycles(c Component, n int64, freqHz int64) {
+	t.Add(c, float64(n)*1e12/float64(freqHz))
+}
+
+// Ps returns the accumulated picoseconds of component c.
+func (t *Timeline) Ps(c Component) float64 { return t.ps[c] }
+
+// Duration returns component c as a time.Duration.
+func (t *Timeline) Duration(c Component) time.Duration {
+	return time.Duration(t.ps[c] / 1e3 * float64(time.Nanosecond))
+}
+
+// TotalPs returns the sum over all components.
+func (t *Timeline) TotalPs() float64 {
+	var s float64
+	for _, v := range t.ps {
+		s += v
+	}
+	return s
+}
+
+// Total returns the sum over all components as a duration.
+func (t *Timeline) Total() time.Duration {
+	return time.Duration(t.TotalPs() / 1e3 * float64(time.Nanosecond))
+}
+
+// Fraction returns component c as a fraction of the total (0 if empty).
+func (t *Timeline) Fraction(c Component) float64 {
+	tot := t.TotalPs()
+	if tot == 0 {
+		return 0
+	}
+	return t.ps[c] / tot
+}
+
+// Reset zeroes the timeline.
+func (t *Timeline) Reset() { t.ps = [numComponents]float64{} }
+
+// Ms formats picoseconds as milliseconds with two decimals.
+func Ms(ps float64) string { return fmt.Sprintf("%.2f ms", ps/1e9) }
+
+// Table is a simple fixed-column text table for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (tb *Table) AddRow(cells ...string) { tb.Rows = append(tb.Rows, cells) }
+
+// Render formats the table with aligned columns.
+func (tb *Table) Render() string {
+	widths := make([]int, len(tb.Headers))
+	for i, h := range tb.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range tb.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if tb.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", tb.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(tb.Headers)
+	sep := make([]string, len(tb.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range tb.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders an ASCII stacked bar of width chars for the given component
+// picosecond values against a full-scale value (Figure 8/9 style charts).
+func Bar(width int, fullScalePs float64, parts ...float64) string {
+	if width <= 0 || fullScalePs <= 0 {
+		return ""
+	}
+	glyphs := []byte{'#', '=', '.', '~'}
+	var b strings.Builder
+	for i, p := range parts {
+		n := int(p / fullScalePs * float64(width))
+		g := glyphs[i%len(glyphs)]
+		for j := 0; j < n; j++ {
+			b.WriteByte(g)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimelineAccumulates(t *testing.T) {
+	var tl Timeline
+	tl.Add(HW, 1e9)                     // 1 ms
+	tl.Add(SWDP, 5e8)                   // 0.5 ms
+	tl.Add(SWIMU, 25e7)                 // 0.25 ms
+	tl.AddCycles(SWOS, 1000, 1_000_000) // 1000 cycles at 1 MHz = 1 ms
+	if got := tl.Ps(HW); got != 1e9 {
+		t.Fatalf("HW = %v", got)
+	}
+	if got := tl.TotalPs(); got != 1e9+5e8+25e7+1e9 {
+		t.Fatalf("total = %v", got)
+	}
+	if f := tl.Fraction(HW); f < 0.36 || f > 0.37 {
+		t.Fatalf("fraction = %v", f)
+	}
+	if d := tl.Duration(HW); d != time.Millisecond {
+		t.Fatalf("duration = %v, want 1ms (1e9 ps)", d)
+	}
+	tl.Reset()
+	if tl.TotalPs() != 0 {
+		t.Fatal("reset failed")
+	}
+	if tl.Fraction(HW) != 0 {
+		t.Fatal("fraction of empty timeline not 0")
+	}
+}
+
+func TestAddPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var tl Timeline
+	tl.Add(HW, -1)
+}
+
+func TestComponentStrings(t *testing.T) {
+	for c, want := range map[Component]string{
+		HW: "HW", SWDP: "SW(DP)", SWIMU: "SW(IMU)", SWOS: "SW(OS)",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if !strings.Contains(Component(99).String(), "99") {
+		t.Error("unknown component string unhelpful")
+	}
+}
+
+func TestQuickTimelineTotalIsSum(t *testing.T) {
+	f := func(a, b, c, d uint32) bool {
+		var tl Timeline
+		tl.Add(HW, float64(a))
+		tl.Add(SWDP, float64(b))
+		tl.Add(SWIMU, float64(c))
+		tl.Add(SWOS, float64(d))
+		return tl.TotalPs() == float64(a)+float64(b)+float64(c)+float64(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "2")
+	out := tb.Render()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: every row has the same prefix width for column 2.
+	idx := strings.Index(lines[1], "value")
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Fatalf("row too short: %q", l)
+		}
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	if Ms(1.5e9) != "1.50 ms" {
+		t.Fatalf("Ms = %q", Ms(1.5e9))
+	}
+}
+
+func TestBar(t *testing.T) {
+	b := Bar(10, 100, 50, 30)
+	if len(b) != 8 {
+		t.Fatalf("bar %q length %d, want 8", b, len(b))
+	}
+	if !strings.HasPrefix(b, "#####") {
+		t.Fatalf("bar %q should start with five #", b)
+	}
+	if Bar(0, 100, 50) != "" || Bar(10, 0, 50) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}

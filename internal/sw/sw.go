@@ -1,0 +1,259 @@
+// Package sw contains the pure-software versions of the paper's benchmark
+// kernels, written against the timed CPU model: every memory access,
+// arithmetic operation and branch both computes the real result on the
+// simulated SDRAM and charges cycles, so the "pure SW" bars of Figures 8
+// and 9 are produced by actually running the algorithms on the ARM-stripe
+// model.
+//
+// The per-statement accounting mirrors the unoptimised C the paper's port
+// used (operands bounce through the stack; the IDEA modular multiplication
+// calls the software division library). SpillALU is the single calibration
+// knob documented in DESIGN.md §6: it models the residual per-iteration
+// stack traffic of the -O0 build and is fixed by matching the paper's
+// published pure-software times.
+package sw
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/ref"
+)
+
+// SpillALU is the calibrated per-sample/per-operation stack-spill factor
+// (ALU-cost units) of the unoptimised compile; see DESIGN.md §6.
+const SpillALU = 43
+
+// Tables holds the SDRAM addresses of the ADPCM codec ROMs; the software
+// decoder loads them like the C original loads its const arrays.
+type Tables struct {
+	Index uint32 // 16 int32 entries
+	Step  uint32 // 89 int32 entries
+}
+
+// WriteTables materialises the codec tables at addr (190 words) and returns
+// their layout. Alloc 512 bytes.
+func WriteTables(write func(addr uint32, v uint32), base uint32) Tables {
+	idx := ref.ADPCMIndexTable()
+	for i, v := range idx {
+		write(base+uint32(4*i), uint32(int32(v)))
+	}
+	stepBase := base + 64
+	st := ref.ADPCMStepTable()
+	for i, v := range st {
+		write(stepBase+uint32(4*i), uint32(int32(v)))
+	}
+	return Tables{Index: base, Step: stepBase}
+}
+
+// VecAdd is the software version of the motivating example: C[i]=A[i]+B[i]
+// over n 32-bit elements.
+func VecAdd(x *cpu.Ctx, a, b, c uint32, n uint32) {
+	x.Call()
+	for i := uint32(0); i < n; i++ {
+		x.Branch(true)
+		av := x.Load32(a + 4*i)
+		bv := x.Load32(b + 4*i)
+		x.ALU(4) // index arithmetic + add
+		x.Store32(c+4*i, av+bv)
+	}
+	x.Branch(false)
+}
+
+// adpcmStep decodes one 4-bit code, charging the cost of the C decoder's
+// body: table lookups, conditional difference accumulation, clamping, and
+// the stack traffic of the unoptimised build.
+func adpcmStep(x *cpu.Ctx, tb Tables, valprev *int32, index *int32, delta uint32) int16 {
+	step := int32(x.Load32(tb.Step + uint32(*index)*4))
+
+	*index += int32(x.Load32(tb.Index + (delta&0xf)*4))
+	x.ALU(2)
+	if *index < 0 {
+		x.Branch(true)
+		*index = 0
+	} else {
+		x.Branch(false)
+	}
+	if *index > 88 {
+		x.Branch(true)
+		*index = 88
+	} else {
+		x.Branch(false)
+	}
+
+	sign := delta & 8
+	mag := int32(delta & 7)
+	x.ALU(2)
+
+	vpdiff := step >> 3
+	x.ALU(1)
+	if mag&4 != 0 {
+		x.Branch(true)
+		vpdiff += step
+		x.ALU(1)
+	} else {
+		x.Branch(false)
+	}
+	if mag&2 != 0 {
+		x.Branch(true)
+		vpdiff += step >> 1
+		x.ALU(2)
+	} else {
+		x.Branch(false)
+	}
+	if mag&1 != 0 {
+		x.Branch(true)
+		vpdiff += step >> 2
+		x.ALU(2)
+	} else {
+		x.Branch(false)
+	}
+
+	if sign != 0 {
+		x.Branch(true)
+		*valprev -= vpdiff
+	} else {
+		x.Branch(false)
+		*valprev += vpdiff
+	}
+	x.ALU(1)
+	if *valprev > 32767 {
+		x.Branch(true)
+		*valprev = 32767
+	} else {
+		x.Branch(false)
+	}
+	if *valprev < -32768 {
+		x.Branch(true)
+		*valprev = -32768
+	} else {
+		x.Branch(false)
+	}
+	x.ALU(SpillALU) // stack spill/reload of the unoptimised build
+	return int16(*valprev)
+}
+
+// ADPCMDecode decodes nbytes of packed codes at in (high nibble first) into
+// 16-bit samples at out, exactly as ref.ADPCMDecode does, while charging
+// the ARM cost model.
+func ADPCMDecode(x *cpu.Ctx, tb Tables, in, out uint32, nbytes uint32) {
+	x.Call()
+	var valprev, index int32
+	sample := uint32(0)
+	for i := uint32(0); i < nbytes; i++ {
+		x.Branch(true)
+		b := uint32(x.Load8(in + i))
+		x.ALU(3) // unpack both nibbles
+		s := adpcmStep(x, tb, &valprev, &index, b>>4)
+		x.Store16(out+sample*2, uint16(s))
+		sample++
+		s = adpcmStep(x, tb, &valprev, &index, b&0xf)
+		x.Store16(out+sample*2, uint16(s))
+		sample++
+		x.ALU(2) // loop/index bookkeeping
+	}
+	x.Branch(false)
+}
+
+// ideaMul is the software modular multiplication: the C original computes
+// (a*b) % 0x10001 through the division library, which dominates the IDEA
+// software profile on the divider-less ARM9.
+func ideaMul(x *cpu.Ctx, a, b uint16) uint16 {
+	x.Call()
+	x.ALU(2)
+	if a == 0 {
+		x.Branch(true)
+		x.ALU(1)
+		return uint16(1 - int32(b))
+	}
+	x.Branch(false)
+	if b == 0 {
+		x.Branch(true)
+		x.ALU(1)
+		return uint16(1 - int32(a))
+	}
+	x.Branch(false)
+	x.Mul()
+	x.Div() // % 0x10001 via __aeabi_uidivmod
+	x.ALU(3)
+	return ref.IdeaMul(a, b)
+}
+
+// ideaAdd charges a 16-bit modular addition.
+func ideaAdd(x *cpu.Ctx, a, b uint16) uint16 {
+	x.ALU(2)
+	return a + b
+}
+
+// ideaXor charges a XOR.
+func ideaXor(x *cpu.Ctx, a, b uint16) uint16 {
+	x.ALU(1)
+	return a ^ b
+}
+
+// IDEAApply processes nblocks 8-byte blocks from in to out using the 52
+// subkeys stored little-endian at keys (as 16-bit halfwords), charging the
+// ARM cost model. The transformation matches ref.IDEAApply bit for bit.
+func IDEAApply(x *cpu.Ctx, in, out, keys uint32, nblocks uint32) {
+	x.Call()
+	for blk := uint32(0); blk < nblocks; blk++ {
+		x.Branch(true)
+		base := in + blk*8
+		// Big-endian 16-bit loads, as the C code assembles them.
+		x1 := uint16(x.Load8(base))<<8 | uint16(x.Load8(base+1))
+		x2 := uint16(x.Load8(base+2))<<8 | uint16(x.Load8(base+3))
+		x3 := uint16(x.Load8(base+4))<<8 | uint16(x.Load8(base+5))
+		x4 := uint16(x.Load8(base+6))<<8 | uint16(x.Load8(base+7))
+		x.ALU(8)
+
+		ki := uint32(0)
+		next := func() uint16 {
+			v := x.Load16(keys + ki*2)
+			ki++
+			x.ALU(1)
+			return v
+		}
+		for r := 0; r < ref.IDEARounds; r++ {
+			x.Branch(true)
+			x1 = ideaMul(x, x1, next())
+			x2 = ideaAdd(x, x2, next())
+			x3 = ideaAdd(x, x3, next())
+			x4 = ideaMul(x, x4, next())
+
+			s3 := x3
+			x3 = ideaMul(x, ideaXor(x, x1, x3), next())
+			s2 := x2
+			x2 = ideaMul(x, ideaAdd(x, ideaXor(x, x2, x4), x3), next())
+			x3 = ideaAdd(x, x3, x2)
+
+			x1 = ideaXor(x, x1, x2)
+			x4 = ideaXor(x, x4, x3)
+			x2 = ideaXor(x, x2, s3)
+			x3 = ideaXor(x, x3, s2)
+			x.ALU(SpillALU) // per-round stack traffic
+		}
+		y1 := ideaMul(x, x1, next())
+		y2 := ideaAdd(x, x3, next())
+		y3 := ideaAdd(x, x2, next())
+		y4 := ideaMul(x, x4, next())
+
+		ob := out + blk*8
+		x.Store8(ob, byte(y1>>8))
+		x.Store8(ob+1, byte(y1))
+		x.Store8(ob+2, byte(y2>>8))
+		x.Store8(ob+3, byte(y2))
+		x.Store8(ob+4, byte(y3>>8))
+		x.Store8(ob+5, byte(y3))
+		x.Store8(ob+6, byte(y4>>8))
+		x.Store8(ob+7, byte(y4))
+		x.ALU(6) // loop/index bookkeeping
+	}
+	x.Branch(false)
+}
+
+// WriteSubkeys stores 52 subkeys as little-endian halfwords at base
+// (104 bytes) for IDEAApply.
+func WriteSubkeys(write func(addr uint32, v uint32), base uint32, keys [ref.IDEASubkeys]uint16) {
+	for i := 0; i < len(keys); i += 2 {
+		w := uint32(keys[i]) | uint32(keys[i+1])<<16
+		write(base+uint32(i*2), w)
+	}
+}

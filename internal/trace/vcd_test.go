@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVCDHeaderAndChanges(t *testing.T) {
+	r := NewRecorder(25000) // 25 ns = one 40 MHz period
+	clk := r.Declare("clk", 1)
+	addr := r.Declare("cp_addr", 16)
+	r.Record(clk, 0, 0)
+	r.Record(clk, 1, 1)
+	r.Record(addr, 1, 0x2a)
+	r.Record(clk, 2, 0)
+	var sb strings.Builder
+	if err := r.WriteVCD(&sb, "imu"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 25000 ps $end",
+		"$scope module imu $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 16 \" cp_addr $end",
+		"#0", "#1", "#2",
+		"b101010 \"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecordCoalescesIdenticalValues(t *testing.T) {
+	r := NewRecorder(1)
+	s := r.Declare("sig", 1)
+	r.Record(s, 0, 1)
+	r.Record(s, 1, 1) // identical, coalesced
+	r.Record(s, 2, 0)
+	if n := len(r.series[s]); n != 2 {
+		t.Fatalf("stored %d changes, want 2", n)
+	}
+}
+
+func TestRenderASCIIWireAndBus(t *testing.T) {
+	r := NewRecorder(1)
+	en := r.Declare("en", 1)
+	bus := r.Declare("bus", 8)
+	r.Record(en, 0, 0)
+	r.Record(en, 2, 1)
+	r.Record(en, 4, 0)
+	r.Record(bus, 2, 0x5)
+	out := r.RenderASCII(0, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "__##_") {
+		t.Fatalf("wire row wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "|5") {
+		t.Fatalf("bus row missing value: %q", lines[1])
+	}
+}
+
+func TestValueAtBeforeFirstChange(t *testing.T) {
+	r := NewRecorder(1)
+	s := r.Declare("sig", 4)
+	r.Record(s, 5, 0xf)
+	if _, ok := r.valueAt(s, 3); ok {
+		t.Fatal("valueAt reported a value before the first change")
+	}
+	if v, ok := r.valueAt(s, 7); !ok || v != 0xf {
+		t.Fatalf("valueAt(7) = %v,%v want 0xf,true", v, ok)
+	}
+}

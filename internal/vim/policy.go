@@ -1,0 +1,147 @@
+package vim
+
+import (
+	"math/rand"
+
+	"repro/internal/imu"
+)
+
+// Policy selects an eviction victim among occupied frames (§3.3: "several
+// replacement policies are possible — e.g., first-in first-out, least
+// recently used, random").
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Victim returns the frame index to evict. frames lists the manager's
+	// frame table; u exposes the hardware reference information (Ref bits,
+	// LastUse stamps). Pinned frames must not be chosen.
+	Victim(frames []Frame, u *imu.IMU) int
+}
+
+// eligible reports whether frame i may be evicted.
+func eligible(f *Frame) bool { return f.Occupied && !f.Pinned }
+
+// FIFO evicts the frame loaded the longest ago.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Victim implements Policy.
+func (FIFO) Victim(frames []Frame, _ *imu.IMU) int {
+	best, bestSeq := -1, uint64(0)
+	for i := range frames {
+		f := &frames[i]
+		if !eligible(f) {
+			continue
+		}
+		if best < 0 || f.LoadSeq < bestSeq {
+			best, bestSeq = i, f.LoadSeq
+		}
+	}
+	return best
+}
+
+// LRU evicts the frame whose TLB entry has the oldest LastUse stamp (the
+// IMU stamps every hit; never-hit frames evict first).
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "lru" }
+
+// Victim implements Policy.
+func (LRU) Victim(frames []Frame, u *imu.IMU) int {
+	best, bestUse := -1, uint64(0)
+	for i := range frames {
+		f := &frames[i]
+		if !eligible(f) {
+			continue
+		}
+		use := u.Entry(i).LastUse
+		if best < 0 || use < bestUse {
+			best, bestUse = i, use
+		}
+	}
+	return best
+}
+
+// Clock is the second-chance policy over the hardware Ref bits: it sweeps a
+// hand, clearing set bits and evicting the first clear one.
+type Clock struct {
+	hand int
+}
+
+// Name implements Policy.
+func (*Clock) Name() string { return "clock" }
+
+// Victim implements Policy.
+func (c *Clock) Victim(frames []Frame, u *imu.IMU) int {
+	n := len(frames)
+	if n == 0 {
+		return -1
+	}
+	// Two sweeps guarantee termination: the first pass may clear bits,
+	// the second finds a clear one.
+	for pass := 0; pass < 2*n; pass++ {
+		i := c.hand
+		c.hand = (c.hand + 1) % n
+		f := &frames[i]
+		if !eligible(f) {
+			continue
+		}
+		e := u.Entry(i)
+		if e.Ref {
+			e.Ref = false
+			if err := u.SetEntry(i, e); err != nil {
+				continue
+			}
+			continue
+		}
+		return i
+	}
+	// All referenced and pinned-free: fall back to the hand position.
+	for i := range frames {
+		if eligible(&frames[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Random evicts a uniformly random eligible frame (seeded: runs are
+// reproducible).
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Victim implements Policy.
+func (r *Random) Victim(frames []Frame, _ *imu.IMU) int {
+	var candidates []int
+	for i := range frames {
+		if eligible(&frames[i]) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[r.Rng.Intn(len(candidates))]
+}
+
+// NewPolicy builds a policy by name ("fifo", "lru", "clock", "random").
+func NewPolicy(name string, seed int64) (Policy, bool) {
+	switch name {
+	case "", "fifo":
+		return FIFO{}, true
+	case "lru":
+		return LRU{}, true
+	case "clock":
+		return &Clock{}, true
+	case "random":
+		return &Random{Rng: rand.New(rand.NewSource(seed))}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,297 @@
+package vim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/copro"
+	"repro/internal/imu"
+	"repro/internal/stats"
+)
+
+// PrepareExecute performs the FPGA_EXECUTE setup of §3.1: it resets the
+// translation state, writes the scalar parameters into the dedicated
+// parameter page, and builds the initial mapping — input pages are
+// preloaded in object order until the dual-port RAM is full, then output
+// pages are mapped (without data movement) into whatever frames remain.
+// Datasets that do not fit are demand-paged later, which is exactly the
+// paper's "not necessarily all of the datasets used by the coprocessor
+// reside in the memory at the same time".
+func (m *Manager) PrepareExecute(params []uint32) error {
+	m.u.InvalidateAll()
+	// A previous execution may have left the parameter-free status bit
+	// set (the coprocessor releases the page mid-run); clear it so the
+	// fresh parameter page is not immediately reclaimed.
+	m.u.ClearParamFree()
+	for i := range m.frames {
+		m.frames[i] = Frame{}
+	}
+	m.seq = 0
+	m.writtenBack = map[uint64]bool{}
+
+	if int(m.pageSz/4) < len(params) {
+		return fmt.Errorf("vim: %d parameter words exceed the parameter page", len(params))
+	}
+
+	// Frame 0 carries the parameter page until the coprocessor releases it.
+	for i, w := range params {
+		if err := m.k.BusWrite32(stats.SWIMU, m.frameAddr(0)+uint32(i*4), w); err != nil {
+			return err
+		}
+	}
+	m.frames[0] = Frame{Occupied: true, Pinned: true, Obj: copro.ParamObj, VPage: 0, LoadSeq: m.nextSeq()}
+	if err := m.installEntry(0, imu.TLBEntry{Valid: true, Obj: copro.ParamObj, VPage: 0, Frame: 0}); err != nil {
+		return err
+	}
+
+	// Initial mapping: inputs first (they are needed immediately), then
+	// outputs while frames remain.
+	ids := m.sortedIDs()
+	for _, loadable := range []bool{true, false} {
+		for _, id := range ids {
+			o := m.objects[id]
+			isInput := o.Dir != Out
+			if isInput != loadable {
+				continue
+			}
+			for vp := uint32(0); vp < o.Pages(m.pageSz); vp++ {
+				f := m.freeFrame()
+				if f < 0 {
+					return nil // DP RAM full; demand paging takes over
+				}
+				if err := m.mapPage(o, vp, f, loadable); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sortedIDs returns mapped object IDs in ascending order (deterministic
+// initial mapping).
+func (m *Manager) sortedIDs() []uint8 {
+	ids := make([]uint8, 0, len(m.objects))
+	for id := range m.objects {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}
+
+func (m *Manager) nextSeq() uint64 {
+	m.seq++
+	return m.seq
+}
+
+// freeFrame returns a free frame index, reclaiming the parameter frame if
+// the coprocessor has released it, or -1.
+func (m *Manager) freeFrame() int {
+	if m.u.ParamFree() {
+		for i := range m.frames {
+			if m.frames[i].Pinned && m.frames[i].Obj == copro.ParamObj {
+				m.frames[i] = Frame{}
+				m.u.ClearParamFree()
+				// The IMU already invalidated the TLB entry itself.
+				break
+			}
+		}
+	}
+	for i := range m.frames {
+		if !m.frames[i].Occupied {
+			return i
+		}
+	}
+	return -1
+}
+
+// mapPage binds (o, vpage) to frame f, loading data when load is true, and
+// installs the TLB entry.
+func (m *Manager) mapPage(o *Object, vpage uint32, f int, load bool) error {
+	if load {
+		if err := m.copyIn(o, vpage, f); err != nil {
+			return err
+		}
+	} else {
+		m.Count.LoadsElided++
+	}
+	m.k.ChargeCPU(stats.SWIMU, m.k.Costs.PageSetup)
+	m.frames[f] = Frame{Occupied: true, Obj: o.ID, VPage: vpage, LoadSeq: m.nextSeq()}
+	return m.installEntry(f, imu.TLBEntry{Valid: true, Obj: o.ID, VPage: vpage, Frame: uint8(f)})
+}
+
+// evict frees the victim frame, writing back its page if dirty, and
+// invalidates its TLB entry.
+func (m *Manager) evict(f int) error {
+	fr := &m.frames[f]
+	if !fr.Occupied || fr.Pinned {
+		return fmt.Errorf("vim: evicting unusable frame %d", f)
+	}
+	// Read the hardware entry (timed) to learn the dirty bit.
+	if err := m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegTLBIdx), uint32(f)); err != nil {
+		return err
+	}
+	hi, err := m.k.BusRead32(stats.SWIMU, m.regAddr(imu.RegTLBHi))
+	if err != nil {
+		return err
+	}
+	dirty := hi&(1<<8) != 0
+	if dirty {
+		o, ok := m.objects[fr.Obj]
+		if !ok {
+			return fmt.Errorf("%w: frame %d owned by unknown object %d", ErrBadObject, f, fr.Obj)
+		}
+		if err := m.copyOut(o, fr.VPage, f); err != nil {
+			return err
+		}
+		m.Count.Writebacks++
+		m.writtenBack[pageKey(fr.Obj, fr.VPage)] = true
+	}
+	if err := m.installEntry(f, imu.TLBEntry{}); err != nil {
+		return err
+	}
+	m.frames[f] = Frame{}
+	m.Count.Evictions++
+	return nil
+}
+
+// HandleFault services one translation fault: it decodes the cause from the
+// IMU registers, validates the access, makes a frame available (free,
+// param-reclaim or eviction), loads the page if the object direction needs
+// it, optionally prefetches sequential successors, and restarts the IMU.
+func (m *Manager) HandleFault() error {
+	m.Count.Faults++
+	m.k.ChargeIRQ(stats.SWIMU)
+
+	// Decode the fault cause (timed register reads: SR then AR).
+	if _, err := m.k.BusRead32(stats.SWIMU, m.regAddr(imu.RegSR)); err != nil {
+		return err
+	}
+	ar, err := m.k.BusRead32(stats.SWIMU, m.regAddr(imu.RegAR))
+	if err != nil {
+		return err
+	}
+	obj := uint8(ar >> 24)
+	addr := ar & 0x00ffffff
+
+	o, ok := m.objects[obj]
+	if !ok {
+		return fmt.Errorf("%w: coprocessor touched unmapped object %d (addr %#x)", ErrBadObject, obj, addr)
+	}
+	if addr >= o.Size {
+		return fmt.Errorf("%w: object %d addr %#x size %#x", ErrOutOfBounds, obj, addr, o.Size)
+	}
+	vpage := addr / m.pageSz
+
+	faultFrame, err := m.pageIn(o, vpage)
+	if err != nil {
+		return err
+	}
+
+	// Sequential prefetch (§3.3 "speculative actions as prefetching"):
+	// while servicing the fault, also bring in the following pages of the
+	// same object — each one turns a future fault (interrupt + decode +
+	// restart) into a batched page load. The just-faulted page is pinned
+	// so speculation can never displace it.
+	if m.cfg.PrefetchPages > 0 {
+		m.frames[faultFrame].Pinned = true
+		for p := 1; p <= m.cfg.PrefetchPages; p++ {
+			vp := vpage + uint32(p)
+			if vp >= o.Pages(m.pageSz) || m.resident(o.ID, vp) {
+				continue
+			}
+			if _, err := m.pageIn(o, vp); err != nil {
+				if errors.Is(err, ErrNoFrames) {
+					break
+				}
+				return err
+			}
+			m.Count.Prefetches++
+		}
+		m.frames[faultFrame].Pinned = false
+	}
+
+	// Restart the stalled translation (timed CR write).
+	return m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegCR), imu.CRRestart)
+}
+
+// pageKey packs an (object, page) pair for the written-back set.
+func pageKey(obj uint8, vpage uint32) uint64 {
+	return uint64(obj)<<32 | uint64(vpage)
+}
+
+// needsLoad decides whether binding (o, vpage) requires a data copy from
+// user space: always for readable objects; for output objects only once
+// the page holds previously written-back partial results.
+func (m *Manager) needsLoad(o *Object, vpage uint32) bool {
+	if o.Dir != Out {
+		return true
+	}
+	return m.writtenBack[pageKey(o.ID, vpage)]
+}
+
+// pageIn makes (o, vpage) resident, evicting if necessary, and returns the
+// frame used.
+func (m *Manager) pageIn(o *Object, vpage uint32) (int, error) {
+	f := m.freeFrame()
+	if f < 0 {
+		victim := m.cfg.Policy.Victim(m.frames, m.u)
+		if victim < 0 {
+			return -1, ErrNoFrames
+		}
+		if err := m.evict(victim); err != nil {
+			return -1, err
+		}
+		f = victim
+	}
+	return f, m.mapPage(o, vpage, f, m.needsLoad(o, vpage))
+}
+
+// resident reports whether (obj, vpage) currently occupies a frame.
+func (m *Manager) resident(obj uint8, vpage uint32) bool {
+	for i := range m.frames {
+		fr := &m.frames[i]
+		if fr.Occupied && !fr.Pinned && fr.Obj == obj && fr.VPage == vpage {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish performs the end-of-operation service of §3.3: every dirty page
+// still resident is copied back to user space, and the translation table is
+// cleared for the next execution.
+func (m *Manager) Finish() error {
+	m.k.ChargeIRQ(stats.SWOS)
+	for f := range m.frames {
+		fr := &m.frames[f]
+		if !fr.Occupied || fr.Pinned {
+			continue
+		}
+		if err := m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegTLBIdx), uint32(f)); err != nil {
+			return err
+		}
+		hi, err := m.k.BusRead32(stats.SWIMU, m.regAddr(imu.RegTLBHi))
+		if err != nil {
+			return err
+		}
+		if hi&(1<<8) != 0 { // dirty
+			o, ok := m.objects[fr.Obj]
+			if !ok {
+				return fmt.Errorf("%w: frame %d owned by unknown object %d", ErrBadObject, f, fr.Obj)
+			}
+			if err := m.copyOut(o, fr.VPage, f); err != nil {
+				return err
+			}
+			m.Count.PagesFlushed++
+		}
+		m.frames[f] = Frame{}
+	}
+	m.u.InvalidateAll()
+	m.k.ChargeCPU(stats.SWOS, m.k.Costs.WakeProcess)
+	return nil
+}

@@ -1,0 +1,304 @@
+// Package vim implements the Virtual Interface Manager of §3.3 — the
+// operating-system extension that manages the dual-port RAM as a pool of
+// pages, keeps the IMU's translation table coherent with its allocation
+// decisions, services translation faults (eviction, dirty write-back, page
+// load), and flushes dirty data back to user space at end of operation.
+//
+// This is the paper's primary software contribution, reproduced in full:
+// mapped-object bookkeeping (FPGA_MAP_OBJECT), the initial mapping performed
+// by FPGA_EXECUTE with scalar parameters passed through a dedicated page,
+// demand paging with pluggable replacement policies, the load-elision
+// optimisation for output-only objects (the "flags used for optimisation
+// purposes" of §3.1), optional sequential prefetch (§3.3 "speculative
+// actions as prefetching could be used"), and the bounce-buffer transfer
+// mode that reproduces the double-copy inefficiency the paper reports and
+// was removing.
+package vim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/copro"
+	"repro/internal/imu"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// Direction declares how the coprocessor uses a mapped object.
+type Direction int
+
+const (
+	// In objects are read by the coprocessor: pages are loaded from user
+	// space on (pre)fault.
+	In Direction = iota
+	// Out objects are only written: page loads are elided.
+	Out
+	// InOut objects are both read and written.
+	InOut
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// Errors returned by the manager.
+var (
+	ErrBadObject   = errors.New("vim: invalid object")
+	ErrOutOfBounds = errors.New("vim: coprocessor access beyond object bounds")
+	ErrNoFrames    = errors.New("vim: no evictable frame")
+)
+
+// Object is one mapped data object (the FPGA_MAP_OBJECT contract).
+type Object struct {
+	ID   uint8
+	Base uint32 // user-space address
+	Size uint32 // bytes
+	Dir  Direction
+}
+
+// Pages returns the number of pages the object spans.
+func (o *Object) Pages(pageSize uint32) uint32 {
+	return (o.Size + pageSize - 1) / pageSize
+}
+
+// Frame is the manager's view of one DP RAM page frame.
+type Frame struct {
+	Occupied bool
+	Pinned   bool // parameter page while still live
+	Obj      uint8
+	VPage    uint32
+	LoadSeq  uint64
+}
+
+// Config tunes the manager.
+type Config struct {
+	// Policy picks eviction victims; nil means FIFO.
+	Policy Policy
+	// BounceBuffer reproduces the paper's naive implementation that makes
+	// two transfers per page movement (user <-> kernel buffer <-> DP RAM).
+	BounceBuffer bool
+	// PrefetchPages maps (and loads) up to this many sequential next pages
+	// of the faulting object while servicing a fault, if free frames are
+	// available. 0 disables prefetch.
+	PrefetchPages int
+}
+
+// Counters aggregates manager activity.
+type Counters struct {
+	Faults       uint64
+	Evictions    uint64
+	Writebacks   uint64 // dirty pages copied back (fault path)
+	PagesLoaded  uint64
+	PagesFlushed uint64 // dirty pages copied back at end of operation
+	LoadsElided  uint64 // OUT pages mapped without a data copy
+	Prefetches   uint64
+	BytesIn      uint64 // user -> DP RAM
+	BytesOut     uint64 // DP RAM -> user
+}
+
+// Manager is the Virtual Interface Manager.
+type Manager struct {
+	k       *kernel.Kernel
+	u       *imu.IMU
+	cfg     Config
+	dpBase  uint32 // AHB base address of the DP RAM
+	regBase uint32 // AHB base address of the IMU register window
+	pageSz  uint32
+
+	objects map[uint8]*Object
+	frames  []Frame
+	seq     uint64
+
+	// writtenBack records (obj, vpage) pairs whose partial contents have
+	// been copied to user space by a dirty eviction. Load elision for
+	// output objects is only sound on a page's *first* residency: once a
+	// partially written page has been written back, a later fault must
+	// reload it or the next flush would clobber the earlier writes with
+	// frame garbage.
+	writtenBack map[uint64]bool
+
+	// bounce is the kernel-space staging buffer address (allocated once).
+	bounce uint32
+
+	Count Counters
+}
+
+// New builds a manager for the given kernel and IMU; dpBase and regBase are
+// the AHB addresses of the DP RAM and the IMU register window.
+func New(k *kernel.Kernel, u *imu.IMU, dpBase, regBase uint32, pageSize int, cfg Config) (*Manager, error) {
+	if k == nil || u == nil {
+		return nil, fmt.Errorf("vim: nil kernel or IMU")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FIFO{}
+	}
+	m := &Manager{
+		k:           k,
+		u:           u,
+		cfg:         cfg,
+		dpBase:      dpBase,
+		regBase:     regBase,
+		pageSz:      uint32(pageSize),
+		objects:     map[uint8]*Object{},
+		frames:      make([]Frame, u.Entries()),
+		writtenBack: map[uint64]bool{},
+	}
+	if cfg.BounceBuffer {
+		addr, err := k.Alloc(pageSize)
+		if err != nil {
+			return nil, fmt.Errorf("vim: bounce buffer: %w", err)
+		}
+		m.bounce = addr
+	}
+	return m, nil
+}
+
+// Config returns the manager configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// PageSize returns the page size in bytes.
+func (m *Manager) PageSize() uint32 { return m.pageSz }
+
+// Frames returns a copy of the frame table (tests, reports).
+func (m *Manager) Frames() []Frame { return append([]Frame(nil), m.frames...) }
+
+// Objects returns the mapped objects (tests, reports).
+func (m *Manager) Objects() []Object {
+	out := make([]Object, 0, len(m.objects))
+	for _, o := range m.objects {
+		out = append(out, *o)
+	}
+	return out
+}
+
+// MapObject registers a user-space object for coprocessor use
+// (FPGA_MAP_OBJECT). Object IDs must be unique per execution and below the
+// parameter identifier.
+func (m *Manager) MapObject(id uint8, base, size uint32, dir Direction) error {
+	if id == copro.ParamObj {
+		return fmt.Errorf("%w: id %#x is reserved for the parameter page", ErrBadObject, id)
+	}
+	if _, dup := m.objects[id]; dup {
+		return fmt.Errorf("%w: id %d already mapped", ErrBadObject, id)
+	}
+	if size == 0 {
+		return fmt.Errorf("%w: object %d has zero size", ErrBadObject, id)
+	}
+	if base%4 != 0 {
+		return fmt.Errorf("%w: object %d base %#x not word aligned", ErrBadObject, id, base)
+	}
+	m.objects[id] = &Object{ID: id, Base: base, Size: size, Dir: dir}
+	return nil
+}
+
+// UnmapAll clears the object table (between executions).
+func (m *Manager) UnmapAll() { m.objects = map[uint8]*Object{} }
+
+// ResetCounters zeroes the activity counters.
+func (m *Manager) ResetCounters() { m.Count = Counters{} }
+
+// frameAddr returns the AHB address of frame f.
+func (m *Manager) frameAddr(f int) uint32 { return m.dpBase + uint32(f)*m.pageSz }
+
+// pageSpan returns the user address and byte length (word-padded) of page
+// vpage of object o.
+func (m *Manager) pageSpan(o *Object, vpage uint32) (uint32, int) {
+	off := vpage * m.pageSz
+	n := m.pageSz
+	if off+n > o.Size {
+		n = o.Size - off
+	}
+	// Word-pad: user buffers are allocated with 8-byte padding, so the
+	// rounded copy stays in bounds.
+	n = (n + 3) &^ 3
+	return o.Base + off, int(n)
+}
+
+// copyIn moves one page of o from user space into frame f.
+func (m *Manager) copyIn(o *Object, vpage uint32, f int) error {
+	src, n := m.pageSpan(o, vpage)
+	if n == 0 {
+		return nil
+	}
+	if m.cfg.BounceBuffer {
+		// The naive module staged every page through a kernel buffer:
+		// two transfers per movement (§4.1).
+		if err := m.k.BusCopy(stats.SWDP, m.bounce, src, n); err != nil {
+			return err
+		}
+		src = m.bounce
+	}
+	if err := m.k.BusCopy(stats.SWDP, m.frameAddr(f), src, n); err != nil {
+		return err
+	}
+	m.Count.PagesLoaded++
+	m.Count.BytesIn += uint64(n)
+	return nil
+}
+
+// copyOut moves frame f back to page vpage of o in user space.
+func (m *Manager) copyOut(o *Object, vpage uint32, f int) error {
+	dst, n := m.pageSpan(o, vpage)
+	if n == 0 {
+		return nil
+	}
+	src := m.frameAddr(f)
+	if m.cfg.BounceBuffer {
+		if err := m.k.BusCopy(stats.SWDP, m.bounce, src, n); err != nil {
+			return err
+		}
+		src = m.bounce
+	}
+	if err := m.k.BusCopy(stats.SWDP, dst, src, n); err != nil {
+		return err
+	}
+	m.Count.BytesOut += uint64(n)
+	return nil
+}
+
+// installEntry programs TLB entry == frame index f (the manager's fixed
+// convention) through timed register writes.
+func (m *Manager) installEntry(f int, e imu.TLBEntry) error {
+	if err := m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegTLBIdx), uint32(f)); err != nil {
+		return err
+	}
+	if err := m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegTLBLo), packLo(e)); err != nil {
+		return err
+	}
+	return m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegTLBHi), packHi(e))
+}
+
+// packLo/packHi mirror the IMU register encoding (the VIM is the other side
+// of that contract).
+func packLo(e imu.TLBEntry) uint32 {
+	v := uint32(0)
+	if e.Valid {
+		v |= 1
+	}
+	v |= uint32(e.Obj) << 1
+	v |= (e.VPage & 0x7fff) << 9
+	return v
+}
+
+func packHi(e imu.TLBEntry) uint32 {
+	v := uint32(e.Frame)
+	if e.Dirty {
+		v |= 1 << 8
+	}
+	if e.Ref {
+		v |= 1 << 9
+	}
+	return v
+}
+
+func (m *Manager) regAddr(off uint32) uint32 { return m.regBase + off }
