@@ -1,0 +1,66 @@
+// Allocation-regression tests for the sparse memory model: booting even the
+// largest board must not zero (or allocate) memory proportional to the
+// simulated SDRAM.
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/mem"
+	"repro/internal/platform"
+)
+
+// TestByteStoreLazyPages asserts that a large store materialises no backing
+// pages until written, and only the touched pages afterwards.
+func TestByteStoreLazyPages(t *testing.T) {
+	s := mem.NewByteStore(256 << 20)
+	if got := s.MaterializedBytes(); got != 0 {
+		t.Fatalf("fresh 256 MB store materialised %d bytes, want 0", got)
+	}
+	if v, err := s.Read32(128 << 20); err != nil || v != 0 {
+		t.Fatalf("unwritten word = %#x, %v; want 0, nil", v, err)
+	}
+	if got := s.MaterializedBytes(); got != 0 {
+		t.Fatalf("reads materialised %d bytes, want 0", got)
+	}
+	if err := s.SetByte(200<<20, 0xab); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaterializedBytes(); got <= 0 || got >= 1<<20 {
+		t.Fatalf("one write materialised %d bytes, want one page (0 < n < 1 MB)", got)
+	}
+}
+
+// TestNewSystemNoEagerSDRAMZeroing bounds the construction cost of the
+// largest board: allocating a System must stay far below the 256 MB of
+// simulated SDRAM it models (the seed implementation allocated and zeroed
+// the whole array up front).
+func TestNewSystemNoEagerSDRAMZeroing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testing.Benchmark in -short mode")
+	}
+	spec := platform.EPXA10()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys, err := repro.NewSystem(repro.Config{Board: "EPXA10"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = sys
+		}
+	})
+	limit := int64(spec.SDRAMBytes / 8)
+	if got := res.AllocedBytesPerOp(); got > limit {
+		t.Fatalf("NewSystem(EPXA10) allocates %d B/op, want <= %d (SDRAM is %d)",
+			got, limit, spec.SDRAMBytes)
+	}
+	board, err := platform.NewBoard(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := board.SDRAM.Store().MaterializedBytes(); got != 0 {
+		t.Fatalf("fresh EPXA10 board materialised %d SDRAM bytes, want 0", got)
+	}
+}

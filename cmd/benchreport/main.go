@@ -1,0 +1,131 @@
+// Command benchreport runs the repository benchmarks and records both the
+// host-side wall-clock cost and the simulated metrics of every benchmark to
+// a JSON file, seeding the performance trajectory tracked across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-bench regex] [-benchtime 3x] [-out BENCH_results.json]
+//
+// The tool shells out to `go test -bench` (so results match what developers
+// measure by hand) and parses the standard benchmark output format:
+//
+//	BenchmarkFig9IDEA/VIM-32KB-8   10   6589589 ns/op   25.00 faults   17.36 sim-ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds every additional unit the benchmark reported, such as
+	// the simulated execution time (sim-ms-*), fault counts and
+	// latency-cycles, plus B/op and allocs/op when -benchmem is on.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout of BENCH_results.json.
+type Report struct {
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "3x", "benchmark time passed to go test -benchtime")
+	out := flag.String("out", "BENCH_results.json", "output JSON path")
+	benchmem := flag.Bool("benchmem", true, "pass -benchmem")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime}
+	if *benchmem {
+		args = append(args, "-benchmem")
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *bench,
+		Benchtime: *benchtime,
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		r, ok := parseLine(line)
+		if ok {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no benchmark lines matched %q\n", *bench)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchreport: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// parseLine decodes one "BenchmarkX-N iter value unit value unit..." line.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := f[0]
+	// Trim the trailing -GOMAXPROCS suffix the harness appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iter, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iter, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		if f[i+1] == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[f[i+1]] = v
+		}
+	}
+	return r, true
+}

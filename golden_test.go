@@ -1,0 +1,94 @@
+// Golden determinism tests: the simulator's measured results are part of its
+// contract. These tables were captured from the seed implementation (eager
+// flat memory, cross-multiplied scheduler, no fast paths) and every value is
+// compared exactly — the allocation-free kernel, the sparse memory model and
+// the idle bulk-skip must reproduce the seed's simulated metrics bit for
+// bit, not merely approximately.
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/exp"
+)
+
+// eq compares a float64 metric for exact (bitwise) equality.
+func eq(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s = %v, want exactly %v", what, got, want)
+	}
+}
+
+// TestGoldenFig3 pins the three execution times of the motivating example.
+func TestGoldenFig3(t *testing.T) {
+	res, err := exp.RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, "fig3 sw_ms", res.Series["sw_ms"], 5.012135338345864)
+	eq(t, "fig3 typ_ms", res.Series["typ_ms"], 2.6853947368421047)
+	eq(t, "fig3 vim_ms", res.Series["vim_ms"], 3.079047932330827)
+}
+
+// TestGoldenFig7 pins the 4-cycle translated read latency.
+func TestGoldenFig7(t *testing.T) {
+	res, err := exp.RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, "fig7 latency_cycles", res.Series["latency_cycles"], 4)
+	eq(t, "fig7 read_value_ok", res.Series["read_value_ok"], 1)
+}
+
+// TestGoldenFig8 pins the 8 KB adpcmdecode VIM run (the benchmarked cell).
+func TestGoldenFig8(t *testing.T) {
+	rep, err := exp.AdpcmVIM(repro.Config{}, 8192, 800+8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, "fig8 8KB total_ps", rep.TotalPs(), 1.1130160714285715e+10)
+	if rep.VIM.Faults != 16 {
+		t.Errorf("fig8 8KB faults = %d, want 16", rep.VIM.Faults)
+	}
+}
+
+// TestGoldenFig9Policies pins the 32 KB IDEA run under all four replacement
+// policies, including the per-component time breakdown.
+func TestGoldenFig9Policies(t *testing.T) {
+	cases := []struct {
+		policy  string
+		totalPs float64
+		hwPs    float64
+		swdpPs  float64
+		swimuPs float64
+		swosPs  float64
+		faults  uint64
+	}{
+		{"fifo", 1.7356149122807014e+10, 1.6397833333333334e+10, 7.08330827067669e+08, 2.3118796992481163e+08, 1.879699248120301e+07, 25},
+		{"lru", 1.750795363408521e+10, 1.6397833333333334e+10, 8.190075187969923e+08, 2.723157894736837e+08, 1.879699248120301e+07, 30},
+		{"clock", 1.750795363408521e+10, 1.6397833333333334e+10, 8.190075187969923e+08, 2.723157894736837e+08, 1.879699248120301e+07, 30},
+		{"random", 1.7447231829573933e+10, 1.6397833333333334e+10, 7.74736842105263e+08, 2.558646616541349e+08, 1.879699248120301e+07, 28},
+	}
+	for _, c := range cases {
+		t.Run(c.policy, func(t *testing.T) {
+			cfg := repro.Config{Policy: c.policy}
+			if c.policy == "random" {
+				cfg.Seed = 4242
+			}
+			rep, err := exp.IdeaVIM(cfg, 32768, 900+32768)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq(t, "total_ps", rep.TotalPs(), c.totalPs)
+			eq(t, "hw_ps", rep.HWPs, c.hwPs)
+			eq(t, "swdp_ps", rep.SWDPPs, c.swdpPs)
+			eq(t, "swimu_ps", rep.SWIMUPs, c.swimuPs)
+			eq(t, "swos_ps", rep.SWOSPs, c.swosPs)
+			if rep.VIM.Faults != c.faults {
+				t.Errorf("faults = %d, want %d", rep.VIM.Faults, c.faults)
+			}
+		})
+	}
+}

@@ -59,11 +59,18 @@ type region struct {
 // paper's experiments and is documented as out of scope.
 type Bus struct {
 	regions []region
+	// last caches the most recently decoded region index; page copies and
+	// cache refills hit the same slave for long beat runs, so checking it
+	// first skips the binary search on the hot path.
+	last int
 
 	// Cycles is the running HCLK cycle count consumed by transfers.
 	Cycles int64
 	// Transfers counts completed beats.
 	Transfers int64
+
+	// copyBuf is Copy's reusable burst staging buffer.
+	copyBuf []uint32
 }
 
 // NewBus returns an empty bus.
@@ -95,10 +102,17 @@ func nameOf(s Slave) string {
 
 // decode finds the slave and local offset for addr.
 func (b *Bus) decode(addr uint32) (Slave, uint32, error) {
+	if b.last < len(b.regions) {
+		r := &b.regions[b.last]
+		if addr-r.base < r.size { // unsigned wrap rejects addr < base
+			return r.slave, addr - r.base, nil
+		}
+	}
 	i := sort.Search(len(b.regions), func(i int) bool { return b.regions[i].base > addr })
 	if i > 0 {
 		r := b.regions[i-1]
 		if addr-r.base < r.size {
+			b.last = i - 1
 			return r.slave, addr - r.base, nil
 		}
 	}
@@ -175,7 +189,10 @@ func (b *Bus) Copy(dst, src uint32, n int, burstWords int) (int64, error) {
 		burstWords = 1
 	}
 	start := b.Cycles
-	buf := make([]uint32, burstWords)
+	if cap(b.copyBuf) < burstWords {
+		b.copyBuf = make([]uint32, burstWords)
+	}
+	buf := b.copyBuf[:burstWords]
 	for done := 0; done < n; {
 		words := (n - done) / WordBytes
 		if words > burstWords {

@@ -254,7 +254,7 @@ func (r *Runner) run(items, chunkItems int, streams []*Stream, params ParamsFunc
 			}
 			before = eng.NowPs()
 		}
-		if _, err := eng.RunUntil(func() bool { return u.IRQ() }, core.DefaultBudget); err != nil {
+		if _, err := eng.RunUntilFlag(u.IRQRef(), core.DefaultBudget); err != nil {
 			return nil, err
 		}
 		hwPs += eng.NowPs() - before

@@ -17,6 +17,12 @@ package copro
 type Mem struct {
 	port *Port
 	out  CPOut
+	// driven mirrors the committed port value so Drive can skip the
+	// schedule/commit pair on the (majority of) edges where the outputs
+	// are unchanged; dirty marks that out has diverged from driven since
+	// the last Drive.
+	driven CPOut
+	dirty  bool
 
 	state     memState
 	data      uint32
@@ -35,19 +41,22 @@ const (
 	memDrain
 )
 
-// NewMem returns a helper bound to port.
-func NewMem(port *Port) *Mem { return &Mem{port: port} }
+// NewMem returns a helper bound to port. The helper starts dirty so the
+// first Drive always commits, even onto a port left non-quiescent by a
+// previous owner.
+func NewMem(port *Port) *Mem { return &Mem{port: port, dirty: true} }
 
 // Step advances the handshake; call first in Eval.
 func (m *Mem) Step() {
 	m.completed = false
-	imu := m.port.IMU()
+	imu := m.port.IMURef()
 	switch m.state {
 	case memIssue:
 		if imu.TLBHit {
 			m.data = imu.DIn
 			m.out.Access = false
 			m.out.Wr = false
+			m.dirty = true
 			m.state = memDrain
 			m.completed = true
 		} else {
@@ -81,6 +90,7 @@ func (m *Mem) Read(obj uint8, addr uint32, size uint8) {
 		panic("copro: Read while busy")
 	}
 	m.Reads++
+	m.dirty = true
 	m.out.Obj = obj
 	m.out.Addr = addr
 	m.out.Size = size
@@ -97,6 +107,7 @@ func (m *Mem) Write(obj uint8, addr uint32, size uint8, v uint32) {
 		panic("copro: Write while busy")
 	}
 	m.Writes++
+	m.dirty = true
 	m.out.Obj = obj
 	m.out.Addr = addr
 	m.out.Size = size
@@ -108,9 +119,16 @@ func (m *Mem) Write(obj uint8, addr uint32, size uint8, v uint32) {
 
 // Drive schedules the port outputs for this edge; call last in Eval.
 func (m *Mem) Drive(fin, paramInv bool) {
+	if !m.dirty && fin == m.driven.Fin && paramInv == m.driven.ParamInv {
+		// The committed port value already matches; scheduling it again
+		// would commit the identical bundle.
+		return
+	}
+	m.dirty = false
 	out := m.out
 	out.Fin = fin
 	out.ParamInv = paramInv
+	m.driven = out
 	m.port.SetCP(out)
 }
 
@@ -122,4 +140,8 @@ func (m *Mem) ResetMem() {
 	m.state = memIdle
 	m.out = CPOut{}
 	m.completed = false
+	// The port may have been Reset (forced to the zero bundle) outside a
+	// clock edge; resynchronise the committed-value mirror.
+	m.driven = m.port.CP()
+	m.dirty = true
 }

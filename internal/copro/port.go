@@ -58,6 +58,13 @@ func NewPort() *Port { return &Port{} }
 // CP returns the committed coprocessor-driven signals.
 func (p *Port) CP() CPOut { return p.cp.Get() }
 
+// CPRef returns a read-only view of the committed coprocessor-driven
+// signals. The pointed-to value is stable for the duration of an Eval (only
+// the coprocessor's Update commits it); callers must not write through it.
+// Hot per-edge consumers (the IMU's idle check) use this to avoid copying
+// the bundle on every edge.
+func (p *Port) CPRef() *CPOut { return p.cp.Ref() }
+
 // SetCP schedules the coprocessor-driven signals (coprocessor Eval).
 func (p *Port) SetCP(v CPOut) { p.cp.Set(v) }
 
@@ -66,6 +73,10 @@ func (p *Port) CommitCP() { p.cp.Commit() }
 
 // IMU returns the committed IMU-driven signals.
 func (p *Port) IMU() IMUOut { return p.imu.Get() }
+
+// IMURef returns a read-only view of the committed IMU-driven signals,
+// under the same contract as CPRef.
+func (p *Port) IMURef() *IMUOut { return p.imu.Ref() }
 
 // SetIMU schedules the IMU-driven signals (IMU Eval).
 func (p *Port) SetIMU(v IMUOut) { p.imu.Set(v) }

@@ -179,9 +179,13 @@ func (s *Session) Execute(params ...uint32) (*Report, error) {
 	startCy := imuDom.Cycles()
 	hwPs := 0.0
 	budget := s.budget
+	// The interruptible sleep polls the IRQ line through the engine's
+	// flag-based loop: edge-exact (the cycle counters feed the measured
+	// components) but free of the per-edge closure call of RunUntil.
+	irq := s.Board.IMU.IRQRef()
 	for {
 		before := eng.NowPs()
-		n, err := eng.RunUntil(func() bool { return s.Board.IMU.IRQ() }, budget)
+		n, err := eng.RunUntilFlag(irq, budget)
 		hwPs += eng.NowPs() - before
 		budget -= n
 		if err != nil {

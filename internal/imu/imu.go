@@ -71,6 +71,16 @@ const (
 	SRParamFree = 1 << 3 // parameter page was invalidated by the coprocessor
 )
 
+// ctlMask packs the pending OS control requests.
+type ctlMask uint8
+
+const (
+	ctlStart ctlMask = 1 << iota
+	ctlStop
+	ctlRestart
+	ctlAckDone
+)
+
 type fsmState uint8
 
 const (
@@ -133,11 +143,17 @@ type IMU struct {
 	req   request
 
 	next pending
+	// noop marks an Eval that scheduled no state change, letting Update
+	// skip the commit entirely. The IMU is idle on the large majority of
+	// edges (the coprocessor computes internally between accesses), so
+	// this fast path keeps the per-edge cost to a few loads and branches.
+	noop bool
 	out  copro.IMUOut
 
 	// OS-requested asynchronous controls (the engine is paused when the
-	// OS runs, so these are plain flags).
-	startReq, stopReq, restartReq, ackDoneReq bool
+	// OS runs, so these are plain flags), packed into one mask so the
+	// per-edge idle check is a single compare.
+	ctl ctlMask
 
 	stamp  uint64 // access counter for LastUse
 	Count  Counters
@@ -181,13 +197,33 @@ func New(cfg Config, dp *mem.DPRAM) (*IMU, error) {
 }
 
 // Bind attaches the coprocessor port.
-func (u *IMU) Bind(p *copro.Port) { u.port = p }
+func (u *IMU) Bind(p *copro.Port) {
+	u.port = p
+	// Pick up the (possibly fresh) port's committed outputs so trace hooks
+	// observe consistent values from the first edge.
+	u.out = p.IMU()
+}
 
 // SetTrace installs waveform hooks.
 func (u *IMU) SetTrace(t *TraceHooks) { u.trace = t }
 
 // Config returns the configuration.
 func (u *IMU) Config() Config { return u.cfg }
+
+// IdleUntilInput implements sim.Idler: it mirrors Eval's no-op fast path,
+// so the engine may bulk-skip IMU edges while the coprocessor computes
+// internally. The predicate depends only on the IMU's own FSM state, the
+// OS control mask (written while the engine is paused) and the committed
+// coprocessor outputs (written at coprocessor-domain edges), which is
+// exactly the contract sim.Idler requires. With a waveform trace installed
+// every edge must be recorded, so skipping is declined.
+func (u *IMU) IdleUntilInput() bool {
+	if u.trace != nil {
+		return false
+	}
+	cp := u.port.CPRef()
+	return u.state == stIdle && u.ctl == 0 && !cp.Access && !cp.Fin && !cp.ParamInv
+}
 
 // camMatch looks up (obj, vpage); returns the entry index or -1.
 func (u *IMU) camMatch(obj uint8, vpage uint32) int {
@@ -202,11 +238,21 @@ func (u *IMU) camMatch(obj uint8, vpage uint32) int {
 
 // Eval implements sim.Ticker.
 func (u *IMU) Eval() {
-	cp := u.port.CP()
+	cp := u.port.CPRef()
 	if u.trace != nil && u.trace.OnEdge != nil {
-		u.trace.OnEdge(u.trace.cycle, cp, u.out)
+		u.trace.OnEdge(u.trace.cycle, *cp, u.out)
 		u.trace.cycle++
 	}
+
+	// Idle fast path: no access in flight, no port event, no OS request —
+	// nothing can change this edge, so schedule nothing and let Update
+	// return immediately. Any state other than stIdle (including stFault,
+	// which counts stall cycles) takes the full path.
+	if u.state == stIdle && u.ctl == 0 && !cp.Access && !cp.Fin && !cp.ParamInv {
+		u.noop = true
+		return
+	}
+	u.noop = false
 
 	n := &u.next
 	n.state = u.state
@@ -219,21 +265,21 @@ func (u *IMU) Eval() {
 	n.doWrite = false
 
 	// OS control requests (engine was paused; apply at the next edge).
-	if u.startReq {
-		u.startReq = false
-		n.out.Start = true
-		n.sr |= SRRunning
-	}
-	if u.ackDoneReq {
-		u.ackDoneReq = false
-		n.out.Start = false
-		n.sr &^= SRDone | SRRunning
-		n.irq = false
-	}
-	if u.stopReq {
-		u.stopReq = false
-		n.out.Start = false
-		n.sr &^= SRRunning
+	if u.ctl != 0 {
+		if u.ctl&ctlStart != 0 {
+			n.out.Start = true
+			n.sr |= SRRunning
+		}
+		if u.ctl&ctlAckDone != 0 {
+			n.out.Start = false
+			n.sr &^= SRDone | SRRunning
+			n.irq = false
+		}
+		if u.ctl&ctlStop != 0 {
+			n.out.Start = false
+			n.sr &^= SRRunning
+		}
+		u.ctl &= ctlRestart // restart is consumed by the fault state below
 	}
 
 	// Completion has priority over memory traffic: a well-formed
@@ -283,8 +329,8 @@ func (u *IMU) Eval() {
 		}
 	case stFault:
 		u.Count.FaultCycles++
-		if u.restartReq {
-			u.restartReq = false
+		if u.ctl&ctlRestart != 0 {
+			u.ctl &^= ctlRestart
 			n.sr &^= SRFault
 			n.irq = false
 			// Retry the latched request from the CAM stage.
@@ -367,6 +413,12 @@ func (u *IMU) raiseFault(n *pending) {
 
 // Update implements sim.Ticker.
 func (u *IMU) Update() {
+	if u.noop {
+		// The committed port outputs are unchanged, so skipping the
+		// Set/Commit pair leaves the coprocessor-visible values intact.
+		u.noop = false
+		return
+	}
 	n := &u.next
 	if n.doWrite {
 		// The translated store hits the DP RAM exactly once, at commit.
@@ -388,6 +440,12 @@ func (u *IMU) Update() {
 	u.ar = n.ar
 	u.irq = n.irq
 	u.out = n.out
-	u.port.SetIMU(n.out)
-	u.port.CommitIMU()
+	// Skip the schedule/commit pair when the port already holds the new
+	// bundle. Comparing against the port's committed value (rather than a
+	// local mirror) keeps the guard exact even if the port is Reset or
+	// rebound between runs.
+	if n.out != *u.port.IMURef() {
+		u.port.SetIMU(n.out)
+		u.port.CommitIMU()
+	}
 }

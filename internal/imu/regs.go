@@ -40,6 +40,11 @@ func (u *IMU) AR() uint32 { return u.ar }
 // IRQ reports whether the interrupt line is asserted.
 func (u *IMU) IRQ() bool { return u.irq }
 
+// IRQRef exposes the interrupt line for the engine's flag-polled run loop
+// (sim.Engine.RunUntilFlag). The line is only written during Update, so
+// polling it between super-edges observes committed state.
+func (u *IMU) IRQRef() *bool { return &u.irq }
+
 // FaultPending reports a pending translation fault.
 func (u *IMU) FaultPending() bool { return u.sr&SRFault != 0 }
 
@@ -59,16 +64,16 @@ func (u *IMU) FaultObj() uint8 { return uint8(u.ar >> 24) }
 func (u *IMU) FaultAddr() uint32 { return u.ar & 0x00ffffff }
 
 // Start requests CP_START assertion at the next hardware edge.
-func (u *IMU) Start() { u.startReq = true }
+func (u *IMU) Start() { u.ctl |= ctlStart }
 
 // Stop requests CP_START deassertion.
-func (u *IMU) Stop() { u.stopReq = true }
+func (u *IMU) Stop() { u.ctl |= ctlStop }
 
 // Restart resumes a faulted translation after the OS has fixed the TLB.
-func (u *IMU) Restart() { u.restartReq = true }
+func (u *IMU) Restart() { u.ctl |= ctlRestart }
 
 // AckDone acknowledges completion and returns the IMU to idle.
-func (u *IMU) AckDone() { u.ackDoneReq = true }
+func (u *IMU) AckDone() { u.ctl |= ctlAckDone }
 
 // Entries returns the TLB size.
 func (u *IMU) Entries() int { return len(u.tlb) }

@@ -5,6 +5,12 @@
 //
 // All models are functional (they hold real bytes) and carry the timing
 // parameters the bus and CPU models need to cost accesses.
+//
+// Storage is sparse: a ByteStore is backed by fixed-size pages that are
+// materialised on first write, and unwritten pages read as zero. Building a
+// board model with 256 MB of SDRAM therefore costs a small page table, not a
+// 256 MB memset — experiment harnesses construct (and discard) whole systems
+// per run, and the eager zeroing used to dominate their profiles.
 package mem
 
 import (
@@ -15,39 +21,93 @@ import (
 // ErrOutOfRange is returned for accesses outside a device.
 var ErrOutOfRange = errors.New("mem: access out of range")
 
+// Backing-page geometry. 64 KB pages keep the page table small even for the
+// largest board (256 MB SDRAM = 4096 entries) while making first-write
+// materialisation cheap.
+const (
+	pageShift = 16
+	pageBytes = 1 << pageShift
+	pageMask  = pageBytes - 1
+)
+
 // ByteStore is a flat byte-addressable storage with 32-bit word helpers.
 // Words are little-endian, matching the ARM stripe configuration.
+//
+// The address space is backed by lazily-allocated pages: reads of a page
+// that was never written return zero without allocating, and the first
+// write to a page materialises it. Stores no larger than one backing page
+// (the dual-port RAMs, register files) are materialised eagerly so their
+// single page is always resident.
 type ByteStore struct {
-	data []byte
+	size  int
+	pages [][]byte
 }
 
 // NewByteStore allocates a zeroed store of the given size.
 func NewByteStore(size int) *ByteStore {
-	return &ByteStore{data: make([]byte, size)}
+	if size < 0 {
+		size = 0
+	}
+	n := (size + pageBytes - 1) >> pageShift
+	s := &ByteStore{size: size, pages: make([][]byte, n)}
+	if n == 1 {
+		// Small store: skip the lazy machinery, the single page costs
+		// at most one 64 KB allocation.
+		s.pages[0] = make([]byte, pageBytes)
+	}
+	return s
 }
 
 // Size returns the store capacity in bytes.
-func (s *ByteStore) Size() int { return len(s.data) }
+func (s *ByteStore) Size() int { return s.size }
 
 // InRange reports whether [addr, addr+n) lies inside the store.
 func (s *ByteStore) InRange(addr uint32, n int) bool {
-	return int64(addr)+int64(n) <= int64(len(s.data))
+	return int64(addr)+int64(n) <= int64(s.size)
+}
+
+// MaterializedBytes returns how many bytes of backing pages are currently
+// allocated (observability for tests and capacity planning; a freshly built
+// large store reports 0).
+func (s *ByteStore) MaterializedBytes() int {
+	n := 0
+	for _, p := range s.pages {
+		if p != nil {
+			n += len(p)
+		}
+	}
+	return n
+}
+
+// page materialises and returns the backing page containing addr.
+func (s *ByteStore) page(addr uint32) []byte {
+	i := addr >> pageShift
+	p := s.pages[i]
+	if p == nil {
+		p = make([]byte, pageBytes)
+		s.pages[i] = p
+	}
+	return p
 }
 
 // Byte returns the byte at addr.
 func (s *ByteStore) Byte(addr uint32) (byte, error) {
 	if !s.InRange(addr, 1) {
-		return 0, fmt.Errorf("%w: byte read at %#x (size %#x)", ErrOutOfRange, addr, len(s.data))
+		return 0, fmt.Errorf("%w: byte read at %#x (size %#x)", ErrOutOfRange, addr, s.size)
 	}
-	return s.data[addr], nil
+	p := s.pages[addr>>pageShift]
+	if p == nil {
+		return 0, nil
+	}
+	return p[addr&pageMask], nil
 }
 
 // SetByte stores b at addr.
 func (s *ByteStore) SetByte(addr uint32, b byte) error {
 	if !s.InRange(addr, 1) {
-		return fmt.Errorf("%w: byte write at %#x (size %#x)", ErrOutOfRange, addr, len(s.data))
+		return fmt.Errorf("%w: byte write at %#x (size %#x)", ErrOutOfRange, addr, s.size)
 	}
-	s.data[addr] = b
+	s.page(addr)[addr&pageMask] = b
 	return nil
 }
 
@@ -55,21 +115,52 @@ func (s *ByteStore) SetByte(addr uint32, b byte) error {
 // the bus models enforce their own alignment rules).
 func (s *ByteStore) Read32(addr uint32) (uint32, error) {
 	if !s.InRange(addr, 4) {
-		return 0, fmt.Errorf("%w: word read at %#x (size %#x)", ErrOutOfRange, addr, len(s.data))
+		return 0, fmt.Errorf("%w: word read at %#x (size %#x)", ErrOutOfRange, addr, s.size)
 	}
-	d := s.data[addr:]
-	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+	off := addr & pageMask
+	if off <= pageBytes-4 {
+		p := s.pages[addr>>pageShift]
+		if p == nil {
+			return 0, nil
+		}
+		d := p[off : off+4 : off+4]
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+	}
+	// The word straddles a page boundary; assemble it byte by byte.
+	var v uint32
+	for lane := uint32(0); lane < 4; lane++ {
+		b, _ := s.Byte(addr + lane)
+		v |= uint32(b) << (8 * lane)
+	}
+	return v, nil
 }
 
 // Write32 stores the little-endian word v at addr, honouring the byte-enable
 // mask be (bit i enables byte lane i).
 func (s *ByteStore) Write32(addr uint32, v uint32, be uint8) error {
 	if !s.InRange(addr, 4) {
-		return fmt.Errorf("%w: word write at %#x (size %#x)", ErrOutOfRange, addr, len(s.data))
+		return fmt.Errorf("%w: word write at %#x (size %#x)", ErrOutOfRange, addr, s.size)
 	}
-	for lane := 0; lane < 4; lane++ {
+	off := addr & pageMask
+	if off <= pageBytes-4 {
+		p := s.page(addr)
+		if be == 0xf {
+			p[off] = byte(v)
+			p[off+1] = byte(v >> 8)
+			p[off+2] = byte(v >> 16)
+			p[off+3] = byte(v >> 24)
+			return nil
+		}
+		for lane := uint32(0); lane < 4; lane++ {
+			if be&(1<<lane) != 0 {
+				p[off+lane] = byte(v >> (8 * lane))
+			}
+		}
+		return nil
+	}
+	for lane := uint32(0); lane < 4; lane++ {
 		if be&(1<<lane) != 0 {
-			s.data[addr+uint32(lane)] = byte(v >> (8 * lane))
+			_ = s.SetByte(addr+lane, byte(v>>(8*lane)))
 		}
 	}
 	return nil
@@ -77,23 +168,39 @@ func (s *ByteStore) Write32(addr uint32, v uint32, be uint8) error {
 
 // ReadBytes copies n bytes starting at addr into a fresh slice.
 func (s *ByteStore) ReadBytes(addr uint32, n int) ([]byte, error) {
-	if !s.InRange(addr, n) {
-		return nil, fmt.Errorf("%w: block read at %#x+%#x (size %#x)", ErrOutOfRange, addr, n, len(s.data))
+	if n < 0 || !s.InRange(addr, n) {
+		return nil, fmt.Errorf("%w: block read at %#x+%#x (size %#x)", ErrOutOfRange, addr, n, s.size)
 	}
 	out := make([]byte, n)
-	copy(out, s.data[addr:])
+	// Unmaterialised pages read as zero, which make already provided.
+	for done := 0; done < n; {
+		off := (addr + uint32(done)) & pageMask
+		chunk := pageBytes - int(off)
+		if chunk > n-done {
+			chunk = n - done
+		}
+		if p := s.pages[(addr+uint32(done))>>pageShift]; p != nil {
+			copy(out[done:done+chunk], p[off:])
+		}
+		done += chunk
+	}
 	return out, nil
 }
 
 // WriteBytes copies p into the store starting at addr.
 func (s *ByteStore) WriteBytes(addr uint32, p []byte) error {
 	if !s.InRange(addr, len(p)) {
-		return fmt.Errorf("%w: block write at %#x+%#x (size %#x)", ErrOutOfRange, addr, len(p), len(s.data))
+		return fmt.Errorf("%w: block write at %#x+%#x (size %#x)", ErrOutOfRange, addr, len(p), s.size)
 	}
-	copy(s.data[addr:], p)
+	for done := 0; done < len(p); {
+		a := addr + uint32(done)
+		off := a & pageMask
+		chunk := pageBytes - int(off)
+		if chunk > len(p)-done {
+			chunk = len(p) - done
+		}
+		copy(s.page(a)[off:], p[done:done+chunk])
+		done += chunk
+	}
 	return nil
 }
-
-// Raw exposes the backing slice for zero-copy read access by trusted models
-// (the VIM's transfer engine). Callers must not grow it.
-func (s *ByteStore) Raw() []byte { return s.data }

@@ -18,6 +18,11 @@ func NewReg[T any](v T) Reg[T] {
 // Get returns the committed value.
 func (r *Reg[T]) Get() T { return r.cur }
 
+// Ref returns a read-only pointer to the committed value, valid until the
+// next Commit or Force. It lets per-edge hot paths inspect wide registers
+// without copying them; callers must not write through it.
+func (r *Reg[T]) Ref() *T { return &r.cur }
+
 // Set schedules v to become the committed value at the next Commit.
 func (r *Reg[T]) Set(v T) {
 	r.next = v

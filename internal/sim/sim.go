@@ -17,6 +17,28 @@
 // a 6 MHz core and a 24 MHz bus every fourth bus cycle) are merged into a
 // single super-edge: all Evals run, then all Updates, preserving the
 // synchronous contract across domain boundaries.
+//
+// # Fast-path scheduling
+//
+// The general cross-multiplication schedule costs two int64 multiplies per
+// domain pair per super-edge. Real platforms (and everything Validate
+// accepts) use integer frequency ratios, for which every domain edge lands
+// exactly on a tick of the fastest domain. The engine therefore precomputes,
+// per domain, its period expressed in fastest-domain ticks (ratio) and the
+// absolute tick of its next edge (nextAt); a super-edge is then the minimum
+// of the nextAt values, and coincidence is a single integer compare. The
+// plan is rebuilt lazily whenever a domain is added, and engines with
+// non-integer ratios fall back to the original cross-multiplication
+// schedule, so behaviour is identical in either mode — only the cost per
+// super-edge changes.
+//
+// The kernel is allocation-free in steady state: Step reuses one scratch
+// slice for the set of due domains (callers must not retain it across
+// steps), and the flag-polled run loop RunUntilFlag stops on a plain bool
+// without any per-edge closure call. RunUntil's done() polling can be
+// batched with SetDoneCheckInterval for callers that only need eventual
+// detection; the default interval of 1 preserves edge-exact stopping, which
+// metric-collecting callers rely on.
 package sim
 
 import (
@@ -36,6 +58,22 @@ type Ticker interface {
 	Eval()
 	// Update commits the state computed by the preceding Eval.
 	Update()
+}
+
+// Idler is an optional Ticker extension for components whose edges are
+// provably no-ops while they wait for input. IdleUntilInput reports that
+// every edge delivered to the component from now on would leave all
+// observable state unchanged until either (a) a component in another clock
+// domain commits new state, or (b) the component is poked externally
+// between run calls (the OS models only touch hardware while the engine is
+// paused). When every ticker of a domain is an idle Idler and another
+// domain still has work, the engine advances the idle domain's cycle
+// counter in bulk instead of delivering the edges one by one — the skipped
+// edges are exactly the ones whose Eval would have taken the component's
+// no-op fast path, so cycle counts, counters and all committed values are
+// bit-identical to the unskipped schedule.
+type Idler interface {
+	IdleUntilInput() bool
 }
 
 // TickerFunc adapts a pair of functions to the Ticker interface.
@@ -65,6 +103,29 @@ type Domain struct {
 	cycles  int64 // rising edges already delivered
 	tickers []Ticker
 	eng     *Engine
+
+	// Fast-path schedule (valid while eng.fast): the domain's period in
+	// fastest-domain ticks, and the absolute tick of its next edge.
+	ratio  int64
+	nextAt int64
+
+	// idlers holds the tickers that implement Idler; the domain is
+	// bulk-skippable only when every ticker does.
+	idlers []Idler
+}
+
+// allIdle reports whether every ticker of the domain is an Idler currently
+// idle until input.
+func (d *Domain) allIdle() bool {
+	if len(d.idlers) != len(d.tickers) || len(d.tickers) == 0 {
+		return false
+	}
+	for _, i := range d.idlers {
+		if !i.IdleUntilInput() {
+			return false
+		}
+	}
+	return true
 }
 
 // Name returns the domain name given at creation.
@@ -86,6 +147,9 @@ func (d *Domain) Attach(t Ticker) {
 		panic("sim: Attach(nil)")
 	}
 	d.tickers = append(d.tickers, t)
+	if i, ok := t.(Idler); ok {
+		d.idlers = append(d.idlers, i)
+	}
 }
 
 // Engine owns a set of clock domains and advances them in time order.
@@ -93,6 +157,18 @@ type Engine struct {
 	domains []*Domain
 	// stopErr is set by a Ticker via Fail and aborts the current Run.
 	stopErr error
+
+	// due is the scratch buffer Step returns; reused every super-edge.
+	due []*Domain
+	// planned marks the scheduling plan valid; adding a domain clears it.
+	planned bool
+	// fast selects the integer-ratio schedule over cross-multiplication.
+	fast bool
+	// doneEvery batches RunUntil's done() polling (0 or 1 = every edge).
+	doneEvery int64
+	// noSkip > 0 suspends idle bulk-skipping (RunCycles needs to hit its
+	// per-domain cycle target exactly, not jump past it).
+	noSkip int
 }
 
 // NewEngine returns an empty engine.
@@ -105,6 +181,7 @@ func (e *Engine) NewDomain(name string, freqHz int64) *Domain {
 	}
 	d := &Domain{name: name, freqHz: freqHz, eng: e}
 	e.domains = append(e.domains, d)
+	e.planned = false
 	return d
 }
 
@@ -114,6 +191,46 @@ func (e *Engine) Domains() []*Domain { return e.domains }
 // Fail aborts the current Run with err. It is intended to be called from a
 // Ticker when the model reaches an impossible state.
 func (e *Engine) Fail(err error) { e.stopErr = err }
+
+// SetDoneCheckInterval makes RunUntil consult done() only every k
+// super-edges (k <= 1 restores the default of every edge). Batching is only
+// sound when done() is monotonic within one run and the caller tolerates up
+// to k-1 extra edges being delivered after the condition becomes true;
+// callers that fold edge counts or cycle counters into measurements must
+// keep the exact default.
+func (e *Engine) SetDoneCheckInterval(k int64) {
+	if k < 1 {
+		k = 1
+	}
+	e.doneEvery = k
+}
+
+// plan rebuilds the scheduling plan: if every frequency divides the fastest
+// one, each domain gets its period in fastest-domain ticks and the absolute
+// tick of its next edge, enabling the integer fast path.
+func (e *Engine) plan() {
+	e.planned = true
+	e.fast = false
+	if len(e.domains) == 0 {
+		return
+	}
+	maxHz := e.domains[0].freqHz
+	for _, d := range e.domains[1:] {
+		if d.freqHz > maxHz {
+			maxHz = d.freqHz
+		}
+	}
+	for _, d := range e.domains {
+		if maxHz%d.freqHz != 0 {
+			return
+		}
+	}
+	for _, d := range e.domains {
+		d.ratio = maxHz / d.freqHz
+		d.nextAt = (d.cycles + 1) * d.ratio
+	}
+	e.fast = true
+}
 
 // edgeBefore reports whether domain a's next edge is strictly before b's.
 // Next-edge times are (a.cycles+1)/a.freq and (b.cycles+1)/b.freq; compare
@@ -132,23 +249,129 @@ func edgeCoincident(a, b *Domain) bool {
 // before the stop condition is met.
 var ErrBudget = errors.New("sim: cycle budget exhausted")
 
+// tick delivers one edge to a single domain: all Evals, then all Updates.
+func (d *Domain) tick() {
+	for _, t := range d.tickers {
+		t.Eval()
+	}
+	for _, t := range d.tickers {
+		t.Update()
+	}
+	d.cycles++
+	d.nextAt += d.ratio
+}
+
+// soloTick delivers an edge that is due on one domain only, returning the
+// number of super-edges consumed. If the due domain ticks on every
+// fastest-domain tick (ratio 1), is fully idle, and skipping is permitted,
+// its no-op edges — including its slot in the upcoming coincident edge —
+// are consumed in bulk and the other domain's edge is delivered instead;
+// the other domain's commit is the only thing that can end the idleness,
+// so the skipped edges are exactly the no-ops the component would have
+// fast-pathed anyway.
+func (e *Engine) soloTick(due, other *Domain) int64 {
+	if due.ratio == 1 && e.noSkip == 0 && due.allIdle() {
+		// k solo edges of due plus the coincident edge at other.nextAt:
+		// k+1 distinct super-edge times consumed in one call.
+		k := other.nextAt - due.nextAt + 1
+		due.cycles += k
+		due.nextAt += k
+		other.tick()
+		return k
+	}
+	due.tick()
+	return 1
+}
+
+// step advances the simulation without materialising the due set and
+// returns the number of super-edges consumed: 1 normally, more when idle
+// bulk-skip jumps a domain over a no-op window. It is the engine-internal
+// fast path behind the run loops; Step is the due-returning public variant.
+// The single-domain and two-domain integer-ratio layouts — every assembled
+// platform — are dispatched inline.
+func (e *Engine) step() int64 {
+	if !e.planned {
+		e.plan()
+	}
+	if e.fast {
+		switch len(e.domains) {
+		case 1:
+			e.domains[0].tick()
+			return 1
+		case 2:
+			d0, d1 := e.domains[0], e.domains[1]
+			if d0.nextAt < d1.nextAt {
+				return e.soloTick(d0, d1)
+			} else if d1.nextAt < d0.nextAt {
+				return e.soloTick(d1, d0)
+			} else {
+				// Coincident super-edge: all Evals before any Update,
+				// in creation order.
+				for _, t := range d0.tickers {
+					t.Eval()
+				}
+				for _, t := range d1.tickers {
+					t.Eval()
+				}
+				for _, t := range d0.tickers {
+					t.Update()
+				}
+				d0.cycles++
+				d0.nextAt += d0.ratio
+				for _, t := range d1.tickers {
+					t.Update()
+				}
+				d1.cycles++
+				d1.nextAt += d1.ratio
+			}
+			return 1
+		}
+	}
+	e.Step()
+	return 1
+}
+
 // Step delivers exactly one super-edge: the earliest pending edge across all
 // domains together with every other domain edge coincident with it. It
-// returns the domains that ticked.
+// returns the domains that ticked, in creation order. The returned slice is
+// a scratch buffer owned by the engine and is overwritten by the next Step;
+// callers must copy it if they need to retain it.
 func (e *Engine) Step() []*Domain {
 	if len(e.domains) == 0 {
 		return nil
 	}
-	earliest := e.domains[0]
-	for _, d := range e.domains[1:] {
-		if edgeBefore(d, earliest) {
-			earliest = d
-		}
+	if !e.planned {
+		e.plan()
 	}
-	var due []*Domain
-	for _, d := range e.domains {
-		if d == earliest || edgeCoincident(d, earliest) {
-			due = append(due, d)
+	due := e.due[:0]
+	switch {
+	case len(e.domains) == 1:
+		// Single-domain fast loop: every edge is a super-edge of the
+		// only domain; no schedule to consult.
+		due = append(due, e.domains[0])
+	case e.fast:
+		t := e.domains[0].nextAt
+		for _, d := range e.domains[1:] {
+			if d.nextAt < t {
+				t = d.nextAt
+			}
+		}
+		for _, d := range e.domains {
+			if d.nextAt == t {
+				due = append(due, d)
+			}
+		}
+	default:
+		earliest := e.domains[0]
+		for _, d := range e.domains[1:] {
+			if edgeBefore(d, earliest) {
+				earliest = d
+			}
+		}
+		for _, d := range e.domains {
+			if d == earliest || edgeCoincident(d, earliest) {
+				due = append(due, d)
+			}
 		}
 	}
 	// Deterministic order: creation order is preserved because we scan
@@ -163,37 +386,79 @@ func (e *Engine) Step() []*Domain {
 			t.Update()
 		}
 		d.cycles++
+		d.nextAt += d.ratio
 	}
+	e.due = due
 	return due
 }
 
-// RunUntil advances the simulation until done() reports true (checked after
-// every super-edge) or maxEdges super-edges have been delivered, whichever
-// comes first. It returns the number of super-edges delivered and ErrBudget
-// if the budget ran out, or the error passed to Fail.
+// RunUntil advances the simulation until done() reports true (checked before
+// every super-edge by default; see SetDoneCheckInterval) or at least
+// maxEdges super-edges have been delivered, whichever comes first. It
+// returns the number of super-edges delivered (counting bulk-skipped idle
+// edges; the final count may exceed maxEdges by up to the domain clock
+// ratio when a skipped window spans the budget boundary) and ErrBudget if
+// the budget ran out, or the error passed to Fail.
 func (e *Engine) RunUntil(done func() bool, maxEdges int64) (int64, error) {
 	e.stopErr = nil
-	for n := int64(0); n < maxEdges; n++ {
-		if done != nil && done() {
-			return n, nil
+	every := e.doneEvery
+	if every < 1 {
+		every = 1
+	}
+	sinceCheck := every // poll before the first edge
+	n := int64(0)
+	for n < maxEdges {
+		if done != nil && sinceCheck >= every {
+			sinceCheck = 0
+			if done() {
+				return n, nil
+			}
 		}
-		e.Step()
+		k := e.step()
+		n += k
+		sinceCheck += k
 		if e.stopErr != nil {
-			return n + 1, e.stopErr
+			return n, e.stopErr
 		}
 	}
 	if done != nil && done() {
-		return maxEdges, nil
+		return n, nil
 	}
-	return maxEdges, ErrBudget
+	return n, ErrBudget
+}
+
+// RunUntilFlag advances the simulation until *stop is true (checked before
+// every super-edge, exactly as RunUntil with the default interval) or
+// maxEdges super-edges have been delivered. It is the allocation- and
+// closure-free variant of RunUntil for hot loops whose stop condition is a
+// single level-sensitive line, such as an interrupt request.
+func (e *Engine) RunUntilFlag(stop *bool, maxEdges int64) (int64, error) {
+	e.stopErr = nil
+	n := int64(0)
+	for n < maxEdges {
+		if *stop {
+			return n, nil
+		}
+		n += e.step()
+		if e.stopErr != nil {
+			return n, e.stopErr
+		}
+	}
+	if *stop {
+		return n, nil
+	}
+	return n, ErrBudget
 }
 
 // RunCycles delivers exactly n rising edges to domain d (other domains tick
 // as time passes).
 func (e *Engine) RunCycles(d *Domain, n int64) {
+	// Idle bulk-skip could jump d past target; deliver edge by edge.
+	e.noSkip++
+	defer func() { e.noSkip-- }()
 	target := d.cycles + n
 	for d.cycles < target {
-		e.Step()
+		e.step()
 	}
 }
 
