@@ -5,6 +5,12 @@
 // Usage:
 //
 //	go run ./cmd/benchreport [-bench regex] [-benchtime 3x] [-out BENCH_results.json]
+//	    [-compare BENCH_results.json] [-max-regress 0.25]
+//
+// With -compare, the fresh results are diffed against a committed baseline
+// file and the run fails (exit 1) when any benchmark's wall-clock ns/op
+// regressed by more than -max-regress (a fraction; 0.25 = 25%). CI uses
+// this as the performance trend gate against the committed baseline.
 //
 // The tool shells out to `go test -bench` (so results match what developers
 // measure by hand) and parses the standard benchmark output format:
@@ -51,9 +57,12 @@ func main() {
 	benchtime := flag.String("benchtime", "3x", "benchmark time passed to go test -benchtime")
 	out := flag.String("out", "BENCH_results.json", "output JSON path")
 	benchmem := flag.Bool("benchmem", true, "pass -benchmem")
+	compare := flag.String("compare", "", "baseline JSON to diff against; exit 1 on wall-clock regression")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs -compare baseline")
+	count := flag.Int("count", 1, "benchmark repetitions (go test -count); the per-benchmark minimum ns/op is kept, which damps host noise for the regression gate")
 	flag.Parse()
 
-	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime}
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-count", fmt.Sprint(*count)}
 	if *benchmem {
 		args = append(args, "-benchmem")
 	}
@@ -74,11 +83,23 @@ func main() {
 		Bench:     *bench,
 		Benchtime: *benchtime,
 	}
+	// With -count > 1 each benchmark appears several times; keep the
+	// fastest repetition (the least noise-contaminated wall-clock sample)
+	// while preserving first-seen order.
+	index := map[string]int{}
 	for _, line := range strings.Split(string(raw), "\n") {
 		r, ok := parseLine(line)
-		if ok {
-			rep.Results = append(rep.Results, r)
+		if !ok {
+			continue
 		}
+		if i, seen := index[r.Name]; seen {
+			if r.NsPerOp < rep.Results[i].NsPerOp {
+				rep.Results[i] = r
+			}
+			continue
+		}
+		index[r.Name] = len(rep.Results)
+		rep.Results = append(rep.Results, r)
 	}
 	if len(rep.Results) == 0 {
 		fmt.Fprintf(os.Stderr, "benchreport: no benchmark lines matched %q\n", *bench)
@@ -96,6 +117,62 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchreport: wrote %d results to %s\n", len(rep.Results), *out)
+
+	if *compare != "" {
+		if regressed := diffBaseline(rep, *compare, *maxRegress); regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+// diffBaseline compares the fresh report against a committed baseline and
+// reports per-benchmark wall-clock deltas. It returns true when any
+// benchmark present in both runs regressed beyond the allowed fraction.
+func diffBaseline(rep Report, path string, maxRegress float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: read baseline: %v\n", err)
+		return true
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: parse baseline: %v\n", err)
+		return true
+	}
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	fresh := make(map[string]bool, len(rep.Results))
+	regressed := false
+	for _, r := range rep.Results {
+		fresh[r.Name] = true
+		b, ok := baseline[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("  new      %-55s %12.0f ns/op (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delta := r.NsPerOp/b.NsPerOp - 1
+		mark := "ok  "
+		if delta > maxRegress {
+			mark = "FAIL"
+			regressed = true
+		}
+		fmt.Printf("  %s %-55s %12.0f -> %12.0f ns/op (%+.1f%%)\n", mark, r.Name, b.NsPerOp, r.NsPerOp, delta*100)
+	}
+	// A baseline benchmark that no longer runs must not slip out of the
+	// gate silently: removing or renaming one requires re-capturing the
+	// baseline in the same change.
+	for _, b := range base.Results {
+		if !fresh[b.Name] {
+			fmt.Printf("  FAIL %-55s in baseline but missing from this run (re-capture %s)\n", b.Name, path)
+			regressed = true
+		}
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchreport: wall-clock regression beyond %.0f%% vs %s\n", maxRegress*100, path)
+	}
+	return regressed
 }
 
 // parseLine decodes one "BenchmarkX-N iter value unit value unit..." line.

@@ -7,11 +7,24 @@
 package repro_test
 
 import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
 	"testing"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/sim"
 )
+
+// -update-golden regenerates testdata/golden_cells.json from the lockstep
+// reference scheduler (the seed-equivalent engine). Committed values are
+// then enforced against BOTH schedulers on every run.
+var updateGolden = flag.Bool("update-golden", false,
+	"regenerate testdata/golden_cells.json from the lockstep reference engine")
 
 // eq compares a float64 metric for exact (bitwise) equality.
 func eq(t *testing.T, what string, got, want float64) {
@@ -51,6 +64,184 @@ func TestGoldenFig8(t *testing.T) {
 	eq(t, "fig8 8KB total_ps", rep.TotalPs(), 1.1130160714285715e+10)
 	if rep.VIM.Faults != 16 {
 		t.Errorf("fig8 8KB faults = %d, want 16", rep.VIM.Faults)
+	}
+}
+
+// goldenCell is the pinned measurement record of one experiment cell.
+type goldenCell struct {
+	TotalPs float64 `json:"total_ps"`
+	HWPs    float64 `json:"hw_ps"`
+	SWDPPs  float64 `json:"swdp_ps"`
+	SWIMUPs float64 `json:"swimu_ps"`
+	SWOSPs  float64 `json:"swos_ps"`
+	Faults  uint64  `json:"faults"`
+	HWCy    int64   `json:"hw_cy"`
+}
+
+func cellOf(rep *core.Report) goldenCell {
+	return goldenCell{
+		TotalPs: rep.TotalPs(),
+		HWPs:    rep.HWPs,
+		SWDPPs:  rep.SWDPPs,
+		SWIMUPs: rep.SWIMUPs,
+		SWOSPs:  rep.SWOSPs,
+		Faults:  rep.VIM.Faults,
+		HWCy:    rep.HWCy,
+	}
+}
+
+// goldenCellSpec enumerates every policy × board × workload cell of the
+// repro.go experiment space. Dataset sizes are chosen to exceed every
+// board's dual-port RAM so the replacement policy actually decides.
+type goldenCellSpec struct {
+	policy, board, workload string
+}
+
+func allGoldenCells() []goldenCellSpec {
+	var cells []goldenCellSpec
+	for _, policy := range []string{"fifo", "lru", "clock", "random"} {
+		for _, board := range []string{"EPXA1", "EPXA4", "EPXA10"} {
+			for _, workload := range []string{"vecadd", "adpcm", "idea"} {
+				cells = append(cells, goldenCellSpec{policy, board, workload})
+			}
+		}
+	}
+	return cells
+}
+
+func (c goldenCellSpec) name() string {
+	return fmt.Sprintf("%s/%s/%s", c.workload, c.board, c.policy)
+}
+
+func (c goldenCellSpec) run() (*core.Report, error) {
+	cfg := repro.Config{Board: c.board, Policy: c.policy, Seed: 4242}
+	switch c.workload {
+	case "vecadd":
+		return exp.VecAddVIM(cfg, 16384, 4242) // 3 × 64 KB objects
+	case "adpcm":
+		return exp.AdpcmVIM(cfg, 8192, 4242) // 8 KB in, 32 KB out
+	case "idea":
+		return exp.IdeaVIM(cfg, 32768, 4242) // 32 KB in and out
+	default:
+		return nil, fmt.Errorf("unknown workload %q", c.workload)
+	}
+}
+
+// runWith runs fn with the given package-default sim scheduler installed.
+func runWith[T any](s sim.Scheduler, fn func() (T, error)) (T, error) {
+	prev := sim.SetDefaultScheduler(s)
+	defer sim.SetDefaultScheduler(prev)
+	return fn()
+}
+
+const goldenCellsPath = "testdata/golden_cells.json"
+
+func loadGoldenCells(t *testing.T) map[string]goldenCell {
+	t.Helper()
+	data, err := os.ReadFile(goldenCellsPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	want := map[string]goldenCell{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestGoldenAllCells pins every policy × board × workload cell end to end
+// and doubles as the whole-system differential harness: each cell is run
+// under the lockstep reference scheduler and the event-driven default, the
+// two reports must agree bit for bit, and both must match the committed
+// golden file (captured from the lockstep engine with -update-golden).
+// Each cell is checked inside its own subtest, so single cells can be
+// re-run with -run 'TestGoldenAllCells/<workload>/<board>/<policy>'.
+func TestGoldenAllCells(t *testing.T) {
+	var want map[string]goldenCell
+	if !*updateGolden {
+		want = loadGoldenCells(t)
+		if len(want) != len(allGoldenCells()) {
+			t.Errorf("golden file has %d cells, expected %d", len(want), len(allGoldenCells()))
+		}
+	}
+	got := map[string]goldenCell{}
+	for _, spec := range allGoldenCells() {
+		spec := spec
+		t.Run(spec.name(), func(t *testing.T) {
+			lockRep, err := runWith(sim.Lockstep, spec.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evntRep, err := runWith(sim.EventDriven, spec.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lock, evnt := cellOf(lockRep), cellOf(evntRep)
+			if lock != evnt {
+				t.Errorf("schedulers disagree:\n lockstep %+v\n event    %+v", lock, evnt)
+			}
+			if lockRep.IMU != evntRep.IMU {
+				t.Errorf("IMU counters disagree:\n lockstep %+v\n event    %+v", lockRep.IMU, evntRep.IMU)
+			}
+			if !reflect.DeepEqual(lockRep.VIM, evntRep.VIM) {
+				t.Errorf("VIM counters disagree:\n lockstep %+v\n event    %+v", lockRep.VIM, evntRep.VIM)
+			}
+			got[spec.name()] = lock
+			if want != nil {
+				w, ok := want[spec.name()]
+				if !ok {
+					t.Errorf("cell %s missing from golden file (re-run with -update-golden)", spec.name())
+				} else if lock != w {
+					t.Errorf("cell drifted:\n got  %+v\n want %+v", lock, w)
+				}
+			}
+		})
+	}
+	if *updateGolden {
+		if len(got) != len(allGoldenCells()) {
+			t.Fatalf("-update-golden needs a full run: ran %d of %d cells (drop the -run filter)",
+				len(got), len(allGoldenCells()))
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenCellsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cells to %s", len(got), goldenCellsPath)
+	}
+}
+
+// TestDifferentialExperiments runs every registered experiment — all
+// figures and every ablation — under both schedulers and requires every
+// published series value to match exactly. Together with TestGoldenAllCells
+// this pins the lockstep/event-driven equivalence across the entire
+// evaluation surface of the reproduction.
+func TestDifferentialExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	for _, e := range exp.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			lock, err := runWith(sim.Lockstep, e.Run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evnt, err := runWith(sim.EventDriven, e.Run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lock.Series) != len(evnt.Series) {
+				t.Fatalf("series sizes differ: lockstep %d, event %d", len(lock.Series), len(evnt.Series))
+			}
+			for k, lv := range lock.Series {
+				if ev, ok := evnt.Series[k]; !ok || ev != lv {
+					t.Errorf("series %q: lockstep %v, event %v", k, lv, evnt.Series[k])
+				}
+			}
+		})
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/copro"
 	"repro/internal/ref"
+	"repro/internal/sim"
 )
 
 // CoreName is the identity carried in bitstream images.
@@ -85,6 +86,47 @@ func (c *Core) ResetCore() {
 	c.dec = ref.ADPCMState{}
 	if c.mem != nil {
 		c.mem.ResetMem()
+	}
+}
+
+// IdleEdges implements sim.BulkIdler. The serial decode states are pure
+// countdowns: from a committed wait of 0 the next edge arms the counter at
+// DecodeCycles and the following DecodeCycles-1 edges only decrement it, so
+// all but the final edge (which performs the nibble decode and must be
+// delivered) are inert. Waiting for CP_START and holding CP_FIN are
+// open-ended idle windows ended only by an IMU commit.
+func (c *Core) IdleEdges() int64 {
+	switch c.st {
+	case stWaitStart:
+		if !c.port.IMURef().Start && c.mem.Quiet() {
+			return sim.IdleForever
+		}
+	case stDecodeHi, stDecodeLo:
+		if c.port.IMURef().Start && c.mem.Quiet() {
+			if c.wait == 0 {
+				return DecodeCycles - 1
+			}
+			if c.wait > 1 {
+				return int64(c.wait) - 1
+			}
+		}
+	case stDone:
+		if c.port.IMURef().Start && c.mem.Quiet() && c.port.CPRef().Fin {
+			return sim.IdleForever
+		}
+	}
+	return 0
+}
+
+// SkipEdges implements sim.BulkIdler: a skipped decode edge arms the
+// countdown if this is the first edge of the window and decrements it
+// otherwise, exactly as the delivered edges would have.
+func (c *Core) SkipEdges(k int64) {
+	if c.st == stDecodeHi || c.st == stDecodeLo {
+		if c.wait == 0 {
+			c.wait = DecodeCycles
+		}
+		c.wait -= uint32(k)
 	}
 }
 

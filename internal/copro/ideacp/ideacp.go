@@ -15,6 +15,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/copro"
 	"repro/internal/ref"
+	"repro/internal/sim"
 )
 
 // CoreName is the identity carried in bitstream images.
@@ -109,6 +110,42 @@ func be16Pair(w uint32) (uint16, uint16) {
 // little-endian memory word.
 func le32FromBE(x1, x2 uint16) uint32 {
 	return uint32(x1>>8) | uint32(x1&0xff)<<8 | uint32(x2>>8)<<16 | uint32(x2&0xff)<<24
+}
+
+// IdleEdges implements sim.BulkIdler: the core advertises the edges Eval
+// would provably no-op (or purely count down) so the engine can bulk-skip
+// them. Three windows qualify: waiting for CP_START before an operation,
+// the multi-cycle cipher compute between the block read and the block
+// write (the decrement edges are inert; the edge that drains the pipeline
+// and latches the ciphertext must be delivered), and holding CP_FIN after
+// completion until the OS acknowledges. Each window ends only through an
+// IMU-domain commit (Start toggling) or the core's own advertised
+// countdown, which is exactly the contract sim.BulkIdler requires.
+func (c *Core) IdleEdges() int64 {
+	switch c.st {
+	case stWaitStart:
+		if !c.port.IMURef().Start && c.mem.Quiet() {
+			return sim.IdleForever
+		}
+	case stCompute:
+		if c.compute > 1 && c.port.IMURef().Start && c.mem.Quiet() {
+			return int64(c.compute) - 1
+		}
+	case stDone:
+		if c.port.IMURef().Start && c.mem.Quiet() && c.port.CPRef().Fin {
+			return sim.IdleForever
+		}
+	}
+	return 0
+}
+
+// SkipEdges implements sim.BulkIdler: skipped compute edges decrement the
+// pipeline-occupancy countdown exactly as delivered edges would. The
+// open-ended windows carry no per-edge state, so there is nothing to do.
+func (c *Core) SkipEdges(k int64) {
+	if c.st == stCompute {
+		c.compute -= uint32(k)
+	}
 }
 
 // Eval implements sim.Ticker.

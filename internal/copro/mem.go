@@ -72,6 +72,15 @@ func (m *Mem) Step() {
 // Ready reports whether a new request may be issued this edge.
 func (m *Mem) Ready() bool { return m.state == memIdle }
 
+// Quiet reports that the handshake is at rest for idle-skip purposes: no
+// request is in flight (a request in flight counts WaitCycles every edge,
+// so those edges are not inert) and no scheduled output change is waiting
+// for the next Drive. A drain in progress — waiting for CP_TLBHIT to fall —
+// is quiet: its only pending transition is internal, commits nothing to the
+// port, and happens at whichever delivered edge first observes the hit line
+// low, so deferring it across a skipped window is unobservable.
+func (m *Mem) Quiet() bool { return m.state != memIssue && !m.dirty }
+
 // Busy reports whether a request is in flight or draining.
 func (m *Mem) Busy() bool { return m.state != memIdle }
 

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/copro"
+	"repro/internal/sim"
 )
 
 // CoreName is the identity carried in bitstream images.
@@ -158,6 +159,27 @@ func (c *Core) ResetCore() {
 		c.mem.ResetMem()
 	}
 }
+
+// IdleEdges implements sim.BulkIdler. Scripted accesses have no compute
+// phases between them, so only the open-ended windows qualify: waiting for
+// CP_START and holding CP_FIN, both ended only by an IMU-domain commit.
+func (c *Core) IdleEdges() int64 {
+	switch c.st {
+	case stWaitStart:
+		if !c.port.IMURef().Start && c.mem.Quiet() {
+			return sim.IdleForever
+		}
+	case stDone:
+		if c.port.IMURef().Start && c.mem.Quiet() && c.port.CPRef().Fin {
+			return sim.IdleForever
+		}
+	}
+	return 0
+}
+
+// SkipEdges implements sim.BulkIdler: the idle windows carry no per-edge
+// state, so skipped edges need no replay.
+func (c *Core) SkipEdges(int64) {}
 
 // Eval implements sim.Ticker.
 func (c *Core) Eval() {

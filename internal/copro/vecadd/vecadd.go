@@ -9,6 +9,7 @@ package vecadd
 import (
 	"repro/internal/bitstream"
 	"repro/internal/copro"
+	"repro/internal/sim"
 )
 
 // CoreName is the identity carried in bitstream images.
@@ -70,6 +71,28 @@ func (c *Core) ResetCore() {
 		c.mem.ResetMem()
 	}
 }
+
+// IdleEdges implements sim.BulkIdler. The adder has no multi-cycle compute
+// phase, so only the open-ended windows qualify: waiting for CP_START
+// before an operation and holding CP_FIN after completion. Both end only
+// through an IMU-domain commit (Start toggling), per the Idler contract.
+func (c *Core) IdleEdges() int64 {
+	switch c.st {
+	case stWaitStart:
+		if !c.port.IMURef().Start && c.mem.Quiet() {
+			return sim.IdleForever
+		}
+	case stDone:
+		if c.port.IMURef().Start && c.mem.Quiet() && c.port.CPRef().Fin {
+			return sim.IdleForever
+		}
+	}
+	return 0
+}
+
+// SkipEdges implements sim.BulkIdler: the idle windows carry no per-edge
+// state, so skipped edges need no replay.
+func (c *Core) SkipEdges(int64) {}
 
 // Eval implements sim.Ticker.
 func (c *Core) Eval() {

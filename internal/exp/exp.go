@@ -94,6 +94,55 @@ func Render(r *Result) string {
 // ms formats picoseconds as milliseconds.
 func ms(ps float64) string { return fmt.Sprintf("%.2f", ps/1e9) }
 
+// VecAddVIM runs the vector-add coprocessor through the virtual interface
+// (n 32-bit elements per object, so 3·4n bytes of mapped data).
+func VecAddVIM(cfg repro.Config, n int, seed int64) (*core.Report, error) {
+	sys, err := repro.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sys.NewProcess("vecadd")
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.Alloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.Alloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.Alloc(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	av := make([]byte, 4*n)
+	bv := make([]byte, 4*n)
+	rng.Read(av)
+	rng.Read(bv)
+	if err := a.Write(av); err != nil {
+		return nil, err
+	}
+	if err := b.Write(bv); err != nil {
+		return nil, err
+	}
+	if err := p.FPGALoad(repro.VecAddBitstream(sys.Board().Spec.Name)); err != nil {
+		return nil, err
+	}
+	if err := p.FPGAMapObject(repro.VecAddObjA, a, repro.In); err != nil {
+		return nil, err
+	}
+	if err := p.FPGAMapObject(repro.VecAddObjB, b, repro.In); err != nil {
+		return nil, err
+	}
+	if err := p.FPGAMapObject(repro.VecAddObjC, c, repro.Out); err != nil {
+		return nil, err
+	}
+	return p.FPGAExecute(uint32(n))
+}
+
 // AdpcmVIM runs the coprocessor adpcmdecode through the virtual interface.
 func AdpcmVIM(cfg repro.Config, nbytes int, seed int64) (*core.Report, error) {
 	sys, err := repro.NewSystem(cfg)

@@ -30,6 +30,11 @@ type Config struct {
 	DPBytes int
 	PageLog uint // log2 page size
 	Mode    imu.Mode
+	// Sched selects the simulation scheduler; the zero value
+	// (sim.SchedulerDefault) resolves to the package default, the
+	// event-driven engine. Differential benches pass sim.Lockstep to run
+	// the identical testbench under the reference scheduler.
+	Sched sim.Scheduler
 }
 
 // DefaultConfig matches the EPXA1 running the vecadd/adpcm clock plan.
@@ -75,6 +80,7 @@ func New(cfg Config, core copro.Coprocessor) (*Bench, error) {
 	core.ResetCore()
 
 	eng := sim.NewEngine()
+	eng.SetScheduler(cfg.Sched)
 	imuDom := eng.NewDomain("imu", cfg.IMUHz)
 	var coproDom *sim.Domain
 	if cfg.CoproHz == cfg.IMUHz {

@@ -1,12 +1,15 @@
 package harness
 
 import (
+	"encoding/binary"
 	"errors"
 	"testing"
 
 	"repro/internal/copro"
+	"repro/internal/copro/adpcmdec"
 	"repro/internal/copro/vecadd"
 	"repro/internal/imu"
+	"repro/internal/sim"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -78,6 +81,64 @@ func TestMapPageExhaustion(t *testing.T) {
 	}
 	if err := b.MapPage(1, 0, 0); err == nil {
 		t.Fatal("TLB exhaustion not reported")
+	}
+}
+
+// TestSchedulerDifferentialBench runs the same adpcmdecode testbench —
+// statically mapped, no OS — under the lockstep reference and the
+// event-driven scheduler (whose bulk-skip jumps the core's serial decode
+// countdowns) and requires identical cycle counts, outputs and port
+// statistics.
+func TestSchedulerDifferentialBench(t *testing.T) {
+	const nbytes = 64
+	run := func(sched sim.Scheduler) (int64, []byte, uint64, uint64) {
+		cfg := DefaultConfig()
+		cfg.Sched = sched
+		core := adpcmdec.New()
+		b, err := New(cfg, core)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]byte, nbytes)
+		for i := range in {
+			in[i] = byte(i*37 + 11)
+		}
+		if err := b.LoadFrame(1, in); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SetParams(nbytes); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.MapPage(adpcmdec.ObjIn, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.MapPage(adpcmdec.ObjOut, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		cycles, err := b.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := b.ReadFrame(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := core.Mem()
+		return cycles, out[:nbytes*4], m.Reads + m.Writes, m.WaitCycles
+	}
+	lockCy, lockOut, lockAcc, lockWait := run(sim.Lockstep)
+	evntCy, evntOut, evntAcc, evntWait := run(sim.EventDriven)
+	if lockCy != evntCy {
+		t.Errorf("cycles: lockstep %d, event %d", lockCy, evntCy)
+	}
+	if lockAcc != evntAcc || lockWait != evntWait {
+		t.Errorf("port stats: lockstep %d/%d, event %d/%d", lockAcc, lockWait, evntAcc, evntWait)
+	}
+	for i := 0; i < len(lockOut); i += 2 {
+		if binary.LittleEndian.Uint16(lockOut[i:]) != binary.LittleEndian.Uint16(evntOut[i:]) {
+			t.Fatalf("sample %d: lockstep %#x, event %#x", i/2,
+				binary.LittleEndian.Uint16(lockOut[i:]), binary.LittleEndian.Uint16(evntOut[i:]))
+		}
 	}
 }
 

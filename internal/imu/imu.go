@@ -215,8 +215,13 @@ func (u *IMU) Config() Config { return u.cfg }
 // internally. The predicate depends only on the IMU's own FSM state, the
 // OS control mask (written while the engine is paused) and the committed
 // coprocessor outputs (written at coprocessor-domain edges), which is
-// exactly the contract sim.Idler requires. With a waveform trace installed
-// every edge must be recorded, so skipping is declined.
+// exactly the contract sim.Idler requires. The idleness is open-ended —
+// only a coprocessor commit or an OS poke ends it — so the IMU does not
+// need the bounded sim.BulkIdler extension the coprocessor cores use for
+// their compute countdowns; under the event-driven scheduler the two
+// compose, letting whole boards jump to the coprocessor's wake edge. With
+// a waveform trace installed every edge must be recorded, so skipping is
+// declined.
 func (u *IMU) IdleUntilInput() bool {
 	if u.trace != nil {
 		return false

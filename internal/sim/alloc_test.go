@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestStepZeroAllocSteadyState pins the allocation-free contract of the
 // kernel: after the first super-edge (which sizes the scratch due buffer and
@@ -78,6 +81,38 @@ type alwaysIdle struct{}
 func (alwaysIdle) Eval()                {}
 func (alwaysIdle) Update()              {}
 func (alwaysIdle) IdleUntilInput() bool { return true }
+
+// TestEventStepZeroAllocAllLayouts pins the allocation-free contract of the
+// event-driven scheduler across every dispatch path: the solo and pair
+// inline paths, the n >= 3 heap path (pop/push per super-edge), and the
+// bulk-skip passes (which rebuild the heap). After warm-up, neither Step
+// nor the skip machinery may allocate.
+func TestEventStepZeroAllocAllLayouts(t *testing.T) {
+	build := func(domains int) *Engine {
+		e := NewEngine()
+		e.SetScheduler(EventDriven)
+		for i := 0; i < domains; i++ {
+			d := e.NewDomain(fmt.Sprintf("d%d", i), int64(48_000_000)>>(i%3))
+			if i%2 == 0 {
+				// Alternating active/countdown windows keep the skip
+				// passes (and heap rebuilds) on the measured path.
+				d.Attach(&phaseBulk{active: 2, idle: 16, rem: 2})
+			} else {
+				d.Attach(&counter{})
+			}
+		}
+		for i := 0; i < 64; i++ {
+			e.step() // warm up: plan, heap, due scratch, skip pass
+		}
+		return e
+	}
+	for _, domains := range []int{1, 2, 3, 8} {
+		e := build(domains)
+		if avg := testing.AllocsPerRun(2000, func() { e.step() }); avg != 0 {
+			t.Fatalf("event step with %d domains allocates %v times per super-edge, want 0", domains, avg)
+		}
+	}
+}
 
 // TestRunUntilFlagZeroAlloc pins the same contract for the flag-polled run
 // loop the execute path uses.

@@ -18,33 +18,72 @@
 // single super-edge: all Evals run, then all Updates, preserving the
 // synchronous contract across domain boundaries.
 //
-// # Fast-path scheduling
+// # Schedulers
 //
-// The general cross-multiplication schedule costs two int64 multiplies per
-// domain pair per super-edge. Real platforms (and everything Validate
-// accepts) use integer frequency ratios, for which every domain edge lands
-// exactly on a tick of the fastest domain. The engine therefore precomputes,
-// per domain, its period expressed in fastest-domain ticks (ratio) and the
-// absolute tick of its next edge (nextAt); a super-edge is then the minimum
-// of the nextAt values, and coincidence is a single integer compare. The
-// plan is rebuilt lazily whenever a domain is added, and engines with
-// non-integer ratios fall back to the original cross-multiplication
-// schedule, so behaviour is identical in either mode — only the cost per
-// super-edge changes.
+// The engine offers two interchangeable schedulers, selected per Engine
+// (SetScheduler) or process-wide (SetDefaultScheduler):
+//
+//   - EventDriven (the default): a min-heap of next-edge times. Real
+//     platforms (and everything Validate accepts) use integer frequency
+//     ratios, for which every domain edge lands exactly on a tick of the
+//     fastest domain; the engine precomputes, per domain, its period in
+//     fastest-domain ticks (ratio) and the absolute tick of its next edge
+//     (nextAt), and keeps the domains in a binary heap keyed by
+//     (nextAt, creation order). One super-edge pops the due domains in
+//     O(log n) and coincidence is an integer compare; ties break towards
+//     creation order, so coincident edges Eval and Update in exactly the
+//     order the lockstep scheduler uses. Engines with non-integer ratios
+//     fall back to cross-multiplied rational comparisons with the same
+//     delivery order.
+//
+//   - Lockstep: the original linear scan over all domains per super-edge,
+//     kept verbatim as the reference implementation. The differential tests
+//     in this package (and the whole-system golden tests at the repository
+//     root) prove the two schedulers deliver bit-identical edge schedules,
+//     cycle counts and metrics for every configuration, which is what makes
+//     the event-driven path safe to default to.
+//
+// # Idle bulk-skip
+//
+// Components whose edges are provably no-ops can advertise idleness and let
+// the engine jump time forward instead of delivering inert edges one by one:
+//
+//   - Idler declares open-ended idleness: every upcoming edge is a no-op
+//     until a component in another clock domain commits new state (or the
+//     component is poked externally between run calls). The IMU idles this
+//     way while the coprocessor computes internally.
+//
+//   - BulkIdler extends the contract to bounded idleness: a component in a
+//     multi-cycle compute phase (a cipher pipeline filling, a serial decode
+//     counting down) knows exactly how many upcoming edges are inert and is
+//     fast-forwarded through them with SkipEdges. The coprocessor cores
+//     advertise their compute phases this way.
+//
+// When every ticker of a domain is idle, the event-driven scheduler advances
+// the domain's cycle counter in bulk to the earliest non-inert edge across
+// all domains (the wake horizon) in one O(n) pass — any subset of idle
+// domains is jumped over at once. The skipped edges are exactly the ones
+// whose Eval would have taken the component's no-op fast path, so cycle
+// counts, counters, committed values and NowPs are bit-identical to the
+// unskipped schedule; edges at the horizon itself are delivered normally,
+// because that is where a skipped component wakes or another domain commits.
+// The lockstep scheduler keeps the narrower PR-1 behaviour (two-domain
+// fast path only) so it stays a faithful reference.
 //
 // The kernel is allocation-free in steady state: Step reuses one scratch
 // slice for the set of due domains (callers must not retain it across
-// steps), and the flag-polled run loop RunUntilFlag stops on a plain bool
-// without any per-edge closure call. RunUntil's done() polling can be
-// batched with SetDoneCheckInterval for callers that only need eventual
-// detection; the default interval of 1 preserves edge-exact stopping, which
-// metric-collecting callers rely on.
+// steps), heap operations never allocate, and the flag-polled run loop
+// RunUntilFlag stops on a plain bool without any per-edge closure call.
+// RunUntil's done() polling can be batched with SetDoneCheckInterval for
+// callers that only need eventual detection; the default interval of 1
+// preserves edge-exact stopping, which metric-collecting callers rely on.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 )
 
@@ -76,6 +115,88 @@ type Idler interface {
 	IdleUntilInput() bool
 }
 
+// IdleForever is the IdleEdges result declaring open-ended idleness, fully
+// equivalent to Idler's IdleUntilInput returning true.
+const IdleForever = int64(math.MaxInt64)
+
+// BulkIdler is the bounded extension of Idler for components whose inert
+// windows end on their own clock — a compute pipeline draining, a serial
+// unit counting down — rather than on external input.
+//
+// IdleEdges reports how many upcoming edges are provably inert: delivering
+// them would neither commit state observable by other components nor depend
+// on state other domains may commit meanwhile (internal countdowns are
+// allowed; that is the point). It returns 0 when the component is busy and
+// IdleForever when it is idle until input. As with Idler, the window may end
+// early only through another domain's commit or an external poke between
+// run calls, both of which the engine re-queries before every super-edge.
+//
+// SkipEdges(k) tells the component that k of those edges (k never exceeds
+// the advertised count) were consumed in bulk; it must leave the component
+// in exactly the state k delivered edges would have produced, which for a
+// contract-abiding component means advancing internal countdowns by k.
+// Components whose inert edges carry no state at all may make it a no-op.
+type BulkIdler interface {
+	IdleEdges() int64
+	SkipEdges(k int64)
+}
+
+// Scheduler selects the engine's super-edge scheduling algorithm.
+type Scheduler uint8
+
+const (
+	// SchedulerDefault resolves to the package-wide default (EventDriven
+	// unless overridden with SetDefaultScheduler). It is the zero value so
+	// that config structs embedding a Scheduler default sensibly.
+	SchedulerDefault Scheduler = iota
+	// EventDriven schedules super-edges from a min-heap of next-edge times
+	// and bulk-skips any subset of idle domains to the wake horizon.
+	EventDriven
+	// Lockstep is the original linear due-domain scan, kept as the
+	// reference implementation for differential testing.
+	Lockstep
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case EventDriven:
+		return "event-driven"
+	case Lockstep:
+		return "lockstep"
+	default:
+		return "default"
+	}
+}
+
+// defaultScheduler is what NewEngine installs; differential harnesses flip
+// it to run identical assembly code under both schedulers. The SIM_SCHEDULER
+// environment variable ("event" or "lockstep") overrides it at start-up so
+// benchmarks and experiments can be A/B-ed without a rebuild.
+var defaultScheduler = EventDriven
+
+func init() {
+	switch os.Getenv("SIM_SCHEDULER") {
+	case "lockstep":
+		defaultScheduler = Lockstep
+	case "event", "event-driven":
+		defaultScheduler = EventDriven
+	}
+}
+
+// SetDefaultScheduler changes the scheduler NewEngine installs and returns
+// the previous default, so tests can restore it with defer. Passing
+// SchedulerDefault restores the built-in default (EventDriven). It is not
+// safe for concurrent use with NewEngine.
+func SetDefaultScheduler(s Scheduler) Scheduler {
+	prev := defaultScheduler
+	if s == SchedulerDefault {
+		s = EventDriven
+	}
+	defaultScheduler = s
+	return prev
+}
+
 // TickerFunc adapts a pair of functions to the Ticker interface.
 type TickerFunc struct {
 	OnEval   func()
@@ -103,19 +224,36 @@ type Domain struct {
 	cycles  int64 // rising edges already delivered
 	tickers []Ticker
 	eng     *Engine
+	order   int // creation index; breaks scheduling ties deterministically
 
 	// Fast-path schedule (valid while eng.fast): the domain's period in
 	// fastest-domain ticks, and the absolute tick of its next edge.
 	ratio  int64
 	nextAt int64
 
-	// idlers holds the tickers that implement Idler; the domain is
-	// bulk-skippable only when every ticker does.
-	idlers []Idler
+	// Event-scheduler scratch: the absolute tick (fast mode) or rational
+	// numerator over freqHz (general mode) of the first non-inert edge,
+	// recomputed by every skip pass. wake < 0 encodes "idle until input".
+	wake int64
+
+	// Adaptive idle-probe state of the single-domain event path: probe
+	// counts edges until the next idleness query, probeBack the current
+	// backoff the counter is reloaded from (reset to 0 by every hit).
+	probe     int8
+	probeBack int8
+
+	// idlers and bulk hold the tickers that advertise idleness (each ticker
+	// lands in exactly one slice; BulkIdler wins when both are implemented).
+	// The domain is bulk-skippable only when every ticker is in one of them;
+	// skippable caches that condition across Attach calls.
+	idlers    []Idler
+	bulk      []BulkIdler
+	skippable bool
 }
 
 // allIdle reports whether every ticker of the domain is an Idler currently
-// idle until input.
+// idle until input. It is the lockstep scheduler's narrower predicate (PR-1
+// semantics): bounded BulkIdler idleness does not count.
 func (d *Domain) allIdle() bool {
 	if len(d.idlers) != len(d.tickers) || len(d.tickers) == 0 {
 		return false
@@ -126,6 +264,45 @@ func (d *Domain) allIdle() bool {
 		}
 	}
 	return true
+}
+
+// idleEdges reports how many upcoming edges of the whole domain are provably
+// inert: 0 when any ticker is busy (or advertises no idleness at all),
+// IdleForever when every ticker is idle until input, and otherwise the
+// minimum bounded count across tickers.
+func (d *Domain) idleEdges() int64 {
+	if !d.skippable {
+		return 0
+	}
+	// Bounded idlers first: a busy coprocessor core answers from its FSM
+	// state alone, which keeps the per-edge cost of a fruitless query low.
+	k := IdleForever
+	for _, b := range d.bulk {
+		n := b.IdleEdges()
+		if n <= 0 {
+			return 0
+		}
+		if n < k {
+			k = n
+		}
+	}
+	for _, i := range d.idlers {
+		if !i.IdleUntilInput() {
+			return 0
+		}
+	}
+	return k
+}
+
+// skipEdges consumes k inert edges in bulk: cycle accounting advances as if
+// the edges had been delivered, and bounded idlers fast-forward their
+// countdowns. k never exceeds the domain's advertised idleEdges.
+func (d *Domain) skipEdges(k int64) {
+	for _, b := range d.bulk {
+		b.SkipEdges(k)
+	}
+	d.cycles += k
+	d.nextAt += k * d.ratio
 }
 
 // Name returns the domain name given at creation.
@@ -147,9 +324,12 @@ func (d *Domain) Attach(t Ticker) {
 		panic("sim: Attach(nil)")
 	}
 	d.tickers = append(d.tickers, t)
-	if i, ok := t.(Idler); ok {
+	if b, ok := t.(BulkIdler); ok {
+		d.bulk = append(d.bulk, b)
+	} else if i, ok := t.(Idler); ok {
 		d.idlers = append(d.idlers, i)
 	}
+	d.skippable = len(d.idlers)+len(d.bulk) == len(d.tickers)
 }
 
 // Engine owns a set of clock domains and advances them in time order.
@@ -157,6 +337,13 @@ type Engine struct {
 	domains []*Domain
 	// stopErr is set by a Ticker via Fail and aborts the current Run.
 	stopErr error
+
+	// sched selects the scheduling algorithm (resolved, never
+	// SchedulerDefault).
+	sched Scheduler
+	// eheap is the event scheduler's binary min-heap over (nextAt, order),
+	// valid while planned && fast; storage is reused across rebuilds.
+	eheap []*Domain
 
 	// due is the scratch buffer Step returns; reused every super-edge.
 	due []*Domain
@@ -171,15 +358,29 @@ type Engine struct {
 	noSkip int
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine using the package default scheduler.
+func NewEngine() *Engine { return &Engine{sched: defaultScheduler} }
+
+// SetScheduler selects the engine's scheduling algorithm; SchedulerDefault
+// resolves to the package default. Switching forces a plan rebuild, so it is
+// safe at any point between super-edges.
+func (e *Engine) SetScheduler(s Scheduler) {
+	if s == SchedulerDefault {
+		s = defaultScheduler
+	}
+	e.sched = s
+	e.planned = false
+}
+
+// Scheduler returns the engine's resolved scheduling algorithm.
+func (e *Engine) Scheduler() Scheduler { return e.sched }
 
 // NewDomain creates a clock domain. Frequency must be positive.
 func (e *Engine) NewDomain(name string, freqHz int64) *Domain {
 	if freqHz <= 0 {
 		panic(fmt.Sprintf("sim: domain %q: frequency %d Hz must be positive", name, freqHz))
 	}
-	d := &Domain{name: name, freqHz: freqHz, eng: e}
+	d := &Domain{name: name, freqHz: freqHz, eng: e, order: len(e.domains)}
 	e.domains = append(e.domains, d)
 	e.planned = false
 	return d
@@ -230,6 +431,9 @@ func (e *Engine) plan() {
 		d.nextAt = (d.cycles + 1) * d.ratio
 	}
 	e.fast = true
+	if e.sched == EventDriven {
+		e.heapInit()
+	}
 }
 
 // edgeBefore reports whether domain a's next edge is strictly before b's.
@@ -287,12 +491,20 @@ func (e *Engine) soloTick(due, other *Domain) int64 {
 // returns the number of super-edges consumed: 1 normally, more when idle
 // bulk-skip jumps a domain over a no-op window. It is the engine-internal
 // fast path behind the run loops; Step is the due-returning public variant.
-// The single-domain and two-domain integer-ratio layouts — every assembled
-// platform — are dispatched inline.
 func (e *Engine) step() int64 {
 	if !e.planned {
 		e.plan()
 	}
+	if e.sched == EventDriven {
+		return e.eventStep()
+	}
+	return e.lockstepFastStep()
+}
+
+// lockstepFastStep is the lockstep scheduler's internal step: the
+// single-domain and two-domain integer-ratio layouts are dispatched inline,
+// everything else goes through the linear due-domain scan.
+func (e *Engine) lockstepFastStep() int64 {
 	if e.fast {
 		switch len(e.domains) {
 		case 1:
@@ -327,15 +539,18 @@ func (e *Engine) step() int64 {
 			return 1
 		}
 	}
-	e.Step()
+	e.lockstepStep()
 	return 1
 }
 
-// Step delivers exactly one super-edge: the earliest pending edge across all
-// domains together with every other domain edge coincident with it. It
-// returns the domains that ticked, in creation order. The returned slice is
-// a scratch buffer owned by the engine and is overwritten by the next Step;
-// callers must copy it if they need to retain it.
+// Step delivers the earliest pending super-edge: the earliest pending edge
+// across all domains together with every other domain edge coincident with
+// it. It returns the domains that ticked, in creation order. Under the
+// event-driven scheduler a Step may additionally consume bulk-skipped idle
+// edges of other domains up to the delivered instant, exactly as the run
+// loops do. The returned slice is a scratch buffer owned by the engine and
+// is overwritten by the next Step; callers must copy it if they need to
+// retain it.
 func (e *Engine) Step() []*Domain {
 	if len(e.domains) == 0 {
 		return nil
@@ -343,6 +558,20 @@ func (e *Engine) Step() []*Domain {
 	if !e.planned {
 		e.plan()
 	}
+	if e.sched == EventDriven {
+		if len(e.domains) == 1 {
+			// The solo path leaves due bookkeeping to this (cold) wrapper.
+			e.due = append(e.due[:0], e.domains[0])
+		}
+		e.eventStep()
+		return e.due
+	}
+	return e.lockstepStep()
+}
+
+// lockstepStep is the linear-scan reference scheduler: find the earliest
+// next edge, collect every coincident domain, deliver Evals then Updates.
+func (e *Engine) lockstepStep() []*Domain {
 	due := e.due[:0]
 	switch {
 	case len(e.domains) == 1:

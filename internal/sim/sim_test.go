@@ -216,6 +216,51 @@ func TestThreeDomainInterleaving(t *testing.T) {
 	}
 }
 
+func TestSchedulerSelection(t *testing.T) {
+	// Pin the package default for the duration of the test so a
+	// SIM_SCHEDULER override in the environment cannot skew it.
+	defer SetDefaultScheduler(SetDefaultScheduler(EventDriven))
+	e := NewEngine()
+	if got := e.Scheduler(); got != EventDriven {
+		t.Fatalf("default scheduler = %v, want event-driven", got)
+	}
+	e.SetScheduler(Lockstep)
+	if got := e.Scheduler(); got != Lockstep {
+		t.Fatalf("scheduler = %v after SetScheduler(Lockstep)", got)
+	}
+	e.SetScheduler(SchedulerDefault)
+	if got := e.Scheduler(); got != EventDriven {
+		t.Fatalf("SchedulerDefault resolved to %v, want event-driven", got)
+	}
+	SetDefaultScheduler(Lockstep)
+	if got := NewEngine().Scheduler(); got != Lockstep {
+		t.Fatalf("NewEngine after SetDefaultScheduler(Lockstep) = %v", got)
+	}
+	if EventDriven.String() != "event-driven" || Lockstep.String() != "lockstep" {
+		t.Fatal("Scheduler.String mismatch")
+	}
+}
+
+// TestSchedulerSwitchMidRun verifies a scheduler change between super-edges
+// replans cleanly: cycle accounting continues exactly where it left off.
+func TestSchedulerSwitchMidRun(t *testing.T) {
+	e := NewEngine()
+	e.SetScheduler(EventDriven)
+	fast := e.NewDomain("fast", 4000)
+	slow := e.NewDomain("slow", 1000)
+	cf, cs := &counter{}, &counter{}
+	fast.Attach(cf)
+	slow.Attach(cs)
+	e.RunCycles(fast, 6)
+	e.SetScheduler(Lockstep)
+	e.RunCycles(fast, 6)
+	e.SetScheduler(EventDriven)
+	e.RunCycles(fast, 4)
+	if cf.n.Get() != 16 || cs.n.Get() != 4 {
+		t.Fatalf("counts %d/%d after scheduler switches, want 16/4", cf.n.Get(), cs.n.Get())
+	}
+}
+
 func TestStepReturnsDueDomains(t *testing.T) {
 	e := NewEngine()
 	fast := e.NewDomain("fast", 2000)
