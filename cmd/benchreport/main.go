@@ -59,6 +59,7 @@ func main() {
 	benchmem := flag.Bool("benchmem", true, "pass -benchmem")
 	compare := flag.String("compare", "", "baseline JSON to diff against; exit 1 on wall-clock regression")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs -compare baseline")
+	noiseFloor := flag.Float64("noise-floor-ns", 50_000, "absolute ns/op delta below which a wall-clock regression is ignored (micro-benchmark host jitter)")
 	count := flag.Int("count", 1, "benchmark repetitions (go test -count); the per-benchmark minimum ns/op is kept, which damps host noise for the regression gate")
 	flag.Parse()
 
@@ -119,7 +120,7 @@ func main() {
 	fmt.Printf("benchreport: wrote %d results to %s\n", len(rep.Results), *out)
 
 	if *compare != "" {
-		if regressed := diffBaseline(rep, *compare, *maxRegress); regressed {
+		if regressed := diffBaseline(rep, *compare, *maxRegress, *noiseFloor); regressed {
 			os.Exit(1)
 		}
 	}
@@ -127,8 +128,11 @@ func main() {
 
 // diffBaseline compares the fresh report against a committed baseline and
 // reports per-benchmark wall-clock deltas. It returns true when any
-// benchmark present in both runs regressed beyond the allowed fraction.
-func diffBaseline(rep Report, path string, maxRegress float64) bool {
+// benchmark present in both runs regressed beyond the allowed fraction AND
+// beyond the absolute noise floor — microsecond-scale benchmarks flap by
+// large percentages on fixed host jitter that means nothing for the
+// millisecond-scale cells the gate exists to protect.
+func diffBaseline(rep Report, path string, maxRegress, noiseFloor float64) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: read baseline: %v\n", err)
@@ -155,8 +159,12 @@ func diffBaseline(rep Report, path string, maxRegress float64) bool {
 		delta := r.NsPerOp/b.NsPerOp - 1
 		mark := "ok  "
 		if delta > maxRegress {
-			mark = "FAIL"
-			regressed = true
+			if r.NsPerOp-b.NsPerOp > noiseFloor {
+				mark = "FAIL"
+				regressed = true
+			} else {
+				mark = "ok~ " // over the fraction but under the noise floor
+			}
 		}
 		fmt.Printf("  %s %-55s %12.0f -> %12.0f ns/op (%+.1f%%)\n", mark, r.Name, b.NsPerOp, r.NsPerOp, delta*100)
 	}

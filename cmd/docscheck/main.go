@@ -1,0 +1,84 @@
+// Command docscheck enforces the repository documentation contract: every
+// package (internal, cmd, examples and the root) must carry a package
+// comment on at least one of its non-test files. CI runs it next to gofmt
+// and go vet; it exits non-zero listing the undocumented packages.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck        # check the whole module
+//	go run ./cmd/docscheck ./...  # same, explicit
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 && os.Args[1] != "./..." {
+		root = os.Args[1]
+	}
+	pkgs := map[string][]string{} // dir -> non-test Go files
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "docs" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgs[dir] = append(pkgs[dir], path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	var undocumented []string
+	dirs := make([]string, 0, len(pkgs))
+	for dir := range pkgs {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		documented := false
+		for _, file := range pkgs[dir] {
+			f, err := parser.ParseFile(fset, file, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", file, err)
+				os.Exit(2)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			undocumented = append(undocumented, dir)
+		}
+	}
+	if len(undocumented) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: packages without a package comment:")
+		for _, dir := range undocumented {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented\n", len(dirs))
+}

@@ -1,5 +1,5 @@
 // Command experiments regenerates every figure and table of the paper's
-// evaluation (plus the ablations listed in DESIGN.md) on the simulated
+// evaluation (plus the repository's ablations and the sessions experiment) on the simulated
 // platform and prints them to stdout.
 //
 // Usage:

@@ -10,6 +10,8 @@
 //	vimsim -app idea -size 16384 -mode normal      # no-OS baseline
 //	vimsim -app idea -size 32768 -mode chunked     # hand-chunked baseline
 //	vimsim -app idea -size 16384 -mode sw          # pure software
+//	vimsim -mode multi -board EPXA4 -split 4       # concurrent IDEA+ADPCM
+//	vimsim -mode multi -arb global-lru             # ... with frame stealing
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/ideautil"
 	"repro/internal/platform"
 	"repro/internal/ref"
@@ -34,7 +37,9 @@ func main() {
 	size := flag.Int("size", 16384, "input size in bytes (vecadd: per-vector bytes)")
 	board := flag.String("board", "EPXA1", "board: EPXA1 | EPXA4 | EPXA10")
 	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random")
-	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw")
+	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi")
+	arb := flag.String("arb", "static", "multi mode: inter-session arbitration: static | global-lru")
+	split := flag.Int("split", 0, "multi mode: page frames for the IDEA session (0 = half the pool)")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined IMU")
 	bounce := flag.Bool("bounce", false, "use the double-transfer (bounce buffer) page path")
 	prefetch := flag.Int("prefetch", 0, "sequential prefetch pages per fault")
@@ -50,6 +55,30 @@ func main() {
 		BounceBuffer:  *bounce,
 		PrefetchPages: *prefetch,
 		Seed:          *seed,
+	}
+
+	if *mode == "multi" {
+		// The multi-session gang fixes its own coprocessor pair, FIFO
+		// per-session policies and clock plan; reject flags it would
+		// silently ignore rather than print a report contradicting them.
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*policy != "fifo", "-policy"},
+			{*pipelined, "-pipelined"},
+			{*bounce, "-bounce"},
+			{*prefetch != 0, "-prefetch"},
+			{*app != "idea", "-app"},
+		} {
+			if f.set {
+				log.Fatalf("mode multi does not support %s (runs IDEA+ADPCM with per-session FIFO)", f.name)
+			}
+		}
+		if err := runMulti(*board, *arb, *split, *size, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	rep, err := run(cfg, *app, *mode, *size, *seed)
@@ -197,6 +226,44 @@ func runVirtual(cfg repro.Config, app, mode string, size int, seed int64) (*core
 		return p.FPGAExecute(repro.IDEAEncryptParams(key, size/8)...)
 	}
 	return nil, fmt.Errorf("unknown app %q", app)
+}
+
+// runMulti runs the multi-coprocessor sessions gang: IDEA (size bytes) and
+// ADPCM (size/2 bytes) concurrently behind one VIM, and prints the shared
+// and per-session report.
+func runMulti(board, arb string, split, size int, seed int64) error {
+	spec, ok := platform.SpecByName(board)
+	if !ok {
+		return fmt.Errorf("unknown board %q", board)
+	}
+	pages := spec.DPBytes >> spec.PageLog
+	if split == 0 {
+		split = pages / 2
+	}
+	if split < 2 || split > pages-2 {
+		return fmt.Errorf("split %d out of range [2,%d] on %s", split, pages-2, board)
+	}
+	size = size &^ 7
+	rep, err := exp.SessionsGang(board, arb, split, size, size/2, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode        multi-session (concurrent %s)\n", rep.Report().App)
+	fmt.Printf("board       %s\n", rep.Board)
+	fmt.Printf("arbitration %s\n", rep.Arb)
+	fmt.Printf("imu         %s\n", rep.IMUMode)
+	fmt.Printf("total       %.3f ms\n", rep.TotalMs())
+	fmt.Printf("  HW        %.3f ms\n", rep.HWPs/1e9)
+	fmt.Printf("  SW(DP)    %.3f ms\n", rep.SWDPPs/1e9)
+	fmt.Printf("  SW(IMU)   %.3f ms\n", rep.SWIMUPs/1e9)
+	fmt.Printf("  SW(OS)    %.3f ms\n", rep.SWOSPs/1e9)
+	fmt.Printf("hw cycles   %d (IMU clock)\n", rep.HWCy)
+	fmt.Printf("steals      %d\n", rep.VIM.Steals)
+	for i, s := range rep.Sessions {
+		fmt.Printf("session %d   %s (policy %s): done %.3f ms, %d faults, %d evictions, %d steals, %d pages loaded\n",
+			i, s.App, s.Policy, s.DonePs/1e9, s.VIM.Faults, s.VIM.Evictions, s.VIM.Steals, s.VIM.PagesLoaded)
+	}
+	return nil
 }
 
 func runBaseline(cfg repro.Config, app, mode string, size int, seed int64) (*core.Report, error) {

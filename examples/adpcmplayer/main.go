@@ -6,6 +6,11 @@
 // the same multimedia pipeline the paper's adpcmdecode benchmark stands for.
 //
 // Run with: go run ./examples/adpcmplayer
+//
+// Expected output: one second of 16 kHz audio (16000 samples) decoded with
+// "HW == SW == golden model", the pure-software (~17.3 ms) versus
+// VIM-coprocessor (~10.9 ms) times — the paper's ~1.6x Figure 8 speedup —
+// and the paging breakdown (16 faults, 9 write-backs).
 package main
 
 import (

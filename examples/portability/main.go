@@ -7,6 +7,11 @@
 // literally the same code for every board.
 //
 // Run with: go run ./examples/portability
+//
+// Expected output: a three-row table (EPXA1/EPXA4/EPXA10) with identical
+// ciphertext on every device and fault counts falling as the dual-port RAM
+// grows (9 -> 1 -> 0 for the 16 KB dataset): only paging behaviour
+// differs, never the application code or its result.
 package main
 
 import (

@@ -1,0 +1,47 @@
+// Smoke tests for the example programs: every example must build, and the
+// quickstart must run end to end and verify its result on the simulated
+// coprocessor, so the first command a new user tries is known-good.
+package repro_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program.
+func TestExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	out, err := exec.Command("go", "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples failed to build: %v\n%s", err, out)
+	}
+}
+
+// TestQuickstartExampleRuns executes examples/quickstart and asserts that
+// it verified the coprocessor result and exercised demand paging (the
+// documented expected output).
+func TestQuickstartExampleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	out, err := exec.Command("go", "run", "./examples/quickstart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "verified on the coprocessor") {
+		t.Errorf("quickstart did not report verification:\n%s", text)
+	}
+	if !strings.Contains(text, "page faults") {
+		t.Errorf("quickstart did not report paging activity:\n%s", text)
+	}
+}

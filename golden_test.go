@@ -17,6 +17,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/platform"
 	"repro/internal/sim"
 )
 
@@ -106,6 +107,14 @@ func allGoldenCells() []goldenCellSpec {
 			}
 		}
 	}
+	// The multi-coprocessor sessions cells: concurrent IDEA+ADPCM behind
+	// one VIM, half the page pool each, under both arbitration policies
+	// (the policy column carries the arbitration name).
+	for _, arb := range []string{"static", "global-lru"} {
+		for _, board := range []string{"EPXA1", "EPXA4", "EPXA10"} {
+			cells = append(cells, goldenCellSpec{arb, board, "sessions"})
+		}
+	}
 	return cells
 }
 
@@ -122,6 +131,19 @@ func (c goldenCellSpec) run() (*core.Report, error) {
 		return exp.AdpcmVIM(cfg, 8192, 4242) // 8 KB in, 32 KB out
 	case "idea":
 		return exp.IdeaVIM(cfg, 32768, 4242) // 32 KB in and out
+	case "sessions":
+		// Concurrent IDEA+ADPCM gang, half the frames each; the policy
+		// column names the inter-session arbitration.
+		spec, ok := platform.SpecByName(c.board)
+		if !ok {
+			return nil, fmt.Errorf("unknown board %q", c.board)
+		}
+		frames := spec.DPBytes >> spec.PageLog
+		rep, err := exp.SessionsGang(c.board, c.policy, frames/2, 16384, 8192, 4242)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Report(), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q", c.workload)
 	}

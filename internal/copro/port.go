@@ -6,6 +6,9 @@
 // Everything on this side of the IMU is platform independent: a coprocessor
 // names an object (CP_OBJ) and a byte offset within it (CP_ADDR) and never
 // sees physical dual-port-RAM addresses, memory sizes, or allocation policy.
+// Each Port carries exactly one coprocessor; a multi-session IMU simply
+// binds several ports (one per channel) over the same dual-port memory, so
+// cores need no changes to run as tenants of a shared shell.
 package copro
 
 import "repro/internal/sim"

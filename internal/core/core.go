@@ -9,6 +9,12 @@
 // model services the event; simulation resumes afterwards. Each segment
 // lands in the paper's measurement buckets (HW, SW dual-port management,
 // SW IMU management, plus residual OS overhead).
+//
+// Beyond the paper's single-tenant shape, a Gang (multi.go) runs several
+// loaded coprocessors concurrently behind one multi-session manager: every
+// member owns a VIM session and an IMU channel, faults and completions are
+// serviced per channel from one interruptible sleep, and the MultiReport
+// splits the shared timeline into per-session shares.
 package core
 
 import (

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/copro"
+	"repro/internal/imu"
+	"repro/internal/kernel"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/vim"
+)
+
+// Member is one tenant of a Gang: a loaded coprocessor with its VIM
+// session, its process, and its scalar parameters for the next ExecuteAll.
+type Member struct {
+	Sess   *vim.Session
+	Proc   *kernel.Process
+	Params []uint32
+
+	header bitstream.Header
+	core   copro.Coprocessor
+	coreHz int64
+	imuHz  int64
+
+	done   bool
+	donePs float64
+	swDP   float64
+	swIMU  float64
+	swOS   float64
+}
+
+// App returns the member's coprocessor name (its bitstream identity).
+func (mb *Member) App() string { return mb.header.Core }
+
+// Gang runs several coprocessor sessions concurrently behind one Virtual
+// Interface Manager on one board — the multi-tenant shape of the sessions
+// layer. Members are added while the gang is unassembled; Assemble builds
+// the shared multi-channel hardware; ExecuteAll launches every member and
+// services their faults and completions until the last one finishes.
+type Gang struct {
+	Board   *platform.Board
+	M       *vim.Manager
+	HW      *platform.MultiHW
+	Members []*Member
+
+	budget int64
+}
+
+// NewGang creates an empty gang over board with the given inter-session
+// arbitration policy.
+func NewGang(board *platform.Board, arb vim.Arbitration) (*Gang, error) {
+	m, err := vim.NewManager(board.Kern, board.IMU, platform.DPBase, platform.IMURegBase,
+		board.DP.PageSize(), arb)
+	if err != nil {
+		return nil, err
+	}
+	return &Gang{Board: board, M: m, budget: DefaultBudget}, nil
+}
+
+// SetBudget overrides the per-ExecuteAll simulation budget.
+func (g *Gang) SetBudget(edges int64) { g.budget = edges }
+
+// AddMember validates the bit-stream, instantiates the coprocessor model,
+// and carves nframes of the page pool into the new member's home
+// partition. coreHz/imuHz override the bitstream clock plan when non-zero:
+// a shared shell fixes one IMU clock for every tenant, so cores whose
+// native clocks do not divide it are recompiled against one that does.
+// Call before Assemble.
+func (g *Gang) AddMember(img []byte, nframes int, cfg vim.Config, coreHz, imuHz int64) (*Member, error) {
+	if g.HW != nil {
+		return nil, fmt.Errorf("core: gang already assembled")
+	}
+	h, inst, err := bitstream.Instantiate(img, g.Board.Spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	cp, ok := inst.(copro.Coprocessor)
+	if !ok {
+		return nil, fmt.Errorf("core: bitstream %q produced a %T, not a coprocessor", h.Core, inst)
+	}
+	sess, err := g.M.AddSession(cfg, nframes)
+	if err != nil {
+		return nil, err
+	}
+	if coreHz == 0 {
+		coreHz = h.CoreClock
+	}
+	if imuHz == 0 {
+		imuHz = h.IMUClock
+	}
+	mb := &Member{
+		Sess:   sess,
+		Proc:   g.Board.Kern.NewProcess(h.Core),
+		header: h,
+		core:   cp,
+		coreHz: coreHz,
+		imuHz:  imuHz,
+	}
+	g.Members = append(g.Members, mb)
+	return mb, nil
+}
+
+// Assemble builds the shared multi-channel hardware: one engine, the
+// board's IMU with one channel per member, and one clock domain per core.
+// The shell's IMU clock is the fastest IMU clock any member requested.
+func (g *Gang) Assemble() error {
+	if len(g.Members) == 0 {
+		return fmt.Errorf("core: gang has no members")
+	}
+	imuHz := int64(0)
+	slots := make([]platform.CoproSlot, len(g.Members))
+	for i, mb := range g.Members {
+		if mb.imuHz > imuHz {
+			imuHz = mb.imuHz
+		}
+		slots[i] = platform.CoproSlot{Core: mb.core, CoreHz: mb.coreHz}
+	}
+	hw, err := g.Board.AssembleMulti(imuHz, slots)
+	if err != nil {
+		return err
+	}
+	g.HW = hw
+	return nil
+}
+
+// SessionReport is one member's share of a gang execution.
+type SessionReport struct {
+	App    string
+	Policy string
+
+	// The member's slices of the software components, in picoseconds.
+	SWDPPs  float64
+	SWIMUPs float64
+	SWOSPs  float64
+
+	// DonePs is the hardware-timeline instant at which the member's
+	// coprocessor signalled completion.
+	DonePs float64
+
+	VIM vim.Counters // the member session's counters
+	IMU imu.Counters // the member channel's counters
+}
+
+// MultiReport aggregates one gang execution: the shared hardware timeline
+// plus one SessionReport per member.
+type MultiReport struct {
+	Board   string
+	Arb     string
+	IMUMode string
+
+	HWPs    float64
+	SWDPPs  float64
+	SWIMUPs float64
+	SWOSPs  float64
+	HWCy    int64 // IMU-domain cycles consumed
+
+	VIM vim.Counters // aggregate across sessions
+	IMU imu.Counters // aggregate across channels
+
+	Sessions []SessionReport
+}
+
+// TotalPs is the end-to-end execution time of the gang run (last member
+// in, all fault service included).
+func (r *MultiReport) TotalPs() float64 {
+	return r.HWPs + r.SWDPPs + r.SWIMUPs + r.SWOSPs
+}
+
+// TotalMs is TotalPs in milliseconds.
+func (r *MultiReport) TotalMs() float64 { return r.TotalPs() / 1e9 }
+
+// Report flattens the gang run into the single-run Report shape (golden
+// cells, report printers); App and Policy describe the gang as a whole.
+func (r *MultiReport) Report() *Report {
+	apps := ""
+	for i, s := range r.Sessions {
+		if i > 0 {
+			apps += "+"
+		}
+		apps += s.App
+	}
+	return &Report{
+		App:     apps,
+		Board:   r.Board,
+		Policy:  r.Arb,
+		IMUMode: r.IMUMode,
+		HWPs:    r.HWPs,
+		SWDPPs:  r.SWDPPs,
+		SWIMUPs: r.SWIMUPs,
+		SWOSPs:  r.SWOSPs,
+		VIM:     r.VIM,
+		IMU:     r.IMU,
+		HWCy:    r.HWCy,
+	}
+}
+
+// swSnap samples the three software components of the shared timeline so
+// per-member deltas can be attributed around each service call.
+func (g *Gang) swSnap() [3]float64 {
+	tl := g.Board.Kern.TL
+	return [3]float64{tl.Ps(stats.SWDP), tl.Ps(stats.SWIMU), tl.Ps(stats.SWOS)}
+}
+
+func (mb *Member) addSW(after, before [3]float64) {
+	mb.swDP += after[0] - before[0]
+	mb.swIMU += after[1] - before[1]
+	mb.swOS += after[2] - before[2]
+}
+
+// ExecuteAll implements FPGA_EXECUTE for every member at once: parameter
+// passing and initial mapping per session, concurrent launch, interruptible
+// sleep with per-channel fault service, and per-session end-of-operation
+// flush as each coprocessor completes. It returns when the last member is
+// done.
+//
+// Modelling note: the engine pauses while the OS services any channel, so
+// a fault on one session also stalls the others for the service duration —
+// the single-CPU system is serialised through the kernel exactly like the
+// real module, but hardware that could have kept running in parallel with
+// the CPU is not modelled (documented in docs/ARCHITECTURE.md).
+func (g *Gang) ExecuteAll() (*MultiReport, error) {
+	if g.HW == nil {
+		return nil, fmt.Errorf("core: ExecuteAll before Assemble")
+	}
+	k := g.Board.Kern
+	tl := k.TL
+	tl.Reset()
+	g.M.ResetCounters()
+	g.Board.IMU.ResetCounters()
+	for _, mb := range g.Members {
+		mb.done = false
+		mb.donePs = 0
+		mb.swDP, mb.swIMU, mb.swOS = 0, 0, 0
+	}
+
+	// Launch: per-session syscall, parameter page, initial mapping, start.
+	for i, mb := range g.Members {
+		k.ChargeSyscall()
+		before := g.swSnap()
+		if err := mb.Sess.PrepareExecute(mb.Params); err != nil {
+			return nil, err
+		}
+		mb.addSW(g.swSnap(), before)
+		g.Board.IMU.StartCh(i)
+	}
+
+	eng := g.HW.Eng
+	imuDom := g.HW.IMUDom
+	startCy := imuDom.Cycles()
+	hwPs := 0.0
+	budget := g.budget
+	irq := g.Board.IMU.IRQRef()
+	remaining := len(g.Members)
+	for remaining > 0 {
+		before := eng.NowPs()
+		n, err := eng.RunUntilFlag(irq, budget)
+		hwPs += eng.NowPs() - before
+		budget -= n
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBudget, err)
+		}
+		serviced := false
+		for i, mb := range g.Members {
+			if mb.done {
+				continue
+			}
+			if g.Board.IMU.DonePendingCh(i) {
+				sw := g.swSnap()
+				if err := mb.Sess.Finish(); err != nil {
+					return nil, err
+				}
+				mb.addSW(g.swSnap(), sw)
+				g.Board.IMU.AckDoneCh(i)
+				mb.done = true
+				mb.donePs = eng.NowPs()
+				remaining--
+				serviced = true
+				continue
+			}
+			if g.Board.IMU.FaultPendingCh(i) {
+				sw := g.swSnap()
+				if err := mb.Sess.HandleFault(); err != nil {
+					return nil, fmt.Errorf("core: session %d (%s): %w", i, mb.header.Core, err)
+				}
+				mb.addSW(g.swSnap(), sw)
+				serviced = true
+			}
+		}
+		if !serviced {
+			return nil, fmt.Errorf("core: IRQ with no serviceable channel (SR0=%#x)", g.Board.IMU.SR())
+		}
+		// Let restarts and acks propagate before re-checking the IRQ line
+		// (requests are consumed at the next edge).
+		before = eng.NowPs()
+		eng.Step()
+		eng.Step()
+		hwPs += eng.NowPs() - before
+		budget -= 2
+	}
+	// Drain until every core has observed CP_START falling and dropped
+	// CP_FIN, so a later ExecuteAll starts clean even with slow core
+	// clock domains.
+	before := eng.NowPs()
+	if _, err := eng.RunUntil(func() bool {
+		if g.Board.IMU.IRQ() {
+			return false
+		}
+		for _, p := range g.HW.Ports {
+			if p.CP().Fin {
+				return false
+			}
+		}
+		return true
+	}, 256*int64(len(g.Members))); err != nil {
+		return nil, fmt.Errorf("core: completion handshake did not drain: %v", err)
+	}
+	hwPs += eng.NowPs() - before
+	tl.Add(stats.HW, hwPs)
+
+	rep := &MultiReport{
+		Board:   g.Board.Spec.Name,
+		Arb:     g.M.Arbitration().String(),
+		IMUMode: g.Board.IMU.Config().Mode.String(),
+		HWPs:    tl.Ps(stats.HW),
+		SWDPPs:  tl.Ps(stats.SWDP),
+		SWIMUPs: tl.Ps(stats.SWIMU),
+		SWOSPs:  tl.Ps(stats.SWOS),
+		HWCy:    imuDom.Cycles() - startCy,
+		VIM:     g.M.Count,
+		IMU:     g.Board.IMU.Count,
+	}
+	for i, mb := range g.Members {
+		rep.Sessions = append(rep.Sessions, SessionReport{
+			App:     mb.header.Core,
+			Policy:  mb.Sess.Config().Policy.Name(),
+			SWDPPs:  mb.swDP,
+			SWIMUPs: mb.swIMU,
+			SWOSPs:  mb.swOS,
+			DonePs:  mb.donePs,
+			VIM:     mb.Sess.Count,
+			IMU:     g.Board.IMU.ChCounters(i),
+		})
+	}
+	return rep, nil
+}

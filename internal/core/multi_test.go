@@ -1,0 +1,171 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/copro/vecadd"
+	"repro/internal/platform"
+	"repro/internal/vim"
+)
+
+// vecaddImg builds a vector-add bitstream for the test board (core and IMU
+// at 40 MHz, like the production image).
+func vecaddImg(t *testing.T, board string) []byte {
+	t.Helper()
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	img, err := bitstream.Build(bitstream.Header{
+		Device:    board,
+		Core:      vecadd.CoreName,
+		CoreClock: 40_000_000,
+		IMUClock:  40_000_000,
+		LEs:       1024,
+		Payload:   payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestGangTwoVecAdds runs two vector-add sessions concurrently behind one
+// VIM on the EPXA1 (four frames each, objects exceeding the partitions so
+// both sessions demand-page), and verifies both results.
+func TestGangTwoVecAdds(t *testing.T) {
+	const n = 1024 // elements: 3 x 4 KB objects per session, 2 pages each
+	board, err := platform.NewBoard(platform.EPXA1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGang(board, vim.StaticPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := vecaddImg(t, "EPXA1")
+	var members [2]*Member
+	var outs [2]uint32
+	var wants [2][]uint32
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2; i++ {
+		mb, err := g.AddMember(img, 4, vim.Config{}, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := board.Kern.Alloc(4 * n)
+		b, _ := board.Kern.Alloc(4 * n)
+		c, _ := board.Kern.Alloc(4 * n)
+		av := make([]uint32, n)
+		bv := make([]uint32, n)
+		want := make([]uint32, n)
+		buf := make([]byte, 4*n)
+		for j := 0; j < n; j++ {
+			av[j] = rng.Uint32()
+			bv[j] = rng.Uint32()
+			want[j] = av[j] + bv[j]
+		}
+		for j, v := range av {
+			binary.LittleEndian.PutUint32(buf[4*j:], v)
+		}
+		if err := board.Kern.WriteUser(a, buf); err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range bv {
+			binary.LittleEndian.PutUint32(buf[4*j:], v)
+		}
+		if err := board.Kern.WriteUser(b, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := mb.Sess.MapObject(vecadd.ObjA, a, 4*n, vim.In); err != nil {
+			t.Fatal(err)
+		}
+		if err := mb.Sess.MapObject(vecadd.ObjB, b, 4*n, vim.In); err != nil {
+			t.Fatal(err)
+		}
+		if err := mb.Sess.MapObject(vecadd.ObjC, c, 4*n, vim.Out); err != nil {
+			t.Fatal(err)
+		}
+		mb.Params = []uint32{n}
+		members[i] = mb
+		outs[i] = c
+		wants[i] = want
+	}
+	if err := g.Assemble(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.ExecuteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := board.Kern.ReadUser(outs[i], 4*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			if v := binary.LittleEndian.Uint32(got[4*j:]); v != wants[i][j] {
+				t.Fatalf("session %d element %d = %#x, want %#x", i, j, v, wants[i][j])
+			}
+		}
+	}
+	if len(rep.Sessions) != 2 {
+		t.Fatalf("report carries %d sessions, want 2", len(rep.Sessions))
+	}
+	for i, s := range rep.Sessions {
+		if s.VIM.Faults == 0 {
+			t.Errorf("session %d had no faults; objects should exceed its partition", i)
+		}
+		if s.DonePs <= 0 {
+			t.Errorf("session %d has no completion time", i)
+		}
+	}
+	if rep.VIM.Faults != rep.Sessions[0].VIM.Faults+rep.Sessions[1].VIM.Faults {
+		t.Error("aggregate faults do not sum the per-session faults")
+	}
+	if rep.TotalPs() <= 0 {
+		t.Error("gang total time not positive")
+	}
+	// A second ExecuteAll on the same gang must start clean.
+	rep2, err := g.ExecuteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TotalPs() != rep.TotalPs() {
+		t.Errorf("second run drifted: %v != %v", rep2.TotalPs(), rep.TotalPs())
+	}
+}
+
+// TestGangConstructionErrors pins the gang construction contract.
+func TestGangConstructionErrors(t *testing.T) {
+	board, err := platform.NewBoard(platform.EPXA1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGang(board, vim.GlobalLRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Assemble(); err == nil {
+		t.Fatal("assembled an empty gang")
+	}
+	if _, err := g.ExecuteAll(); err == nil {
+		t.Fatal("executed an unassembled gang")
+	}
+	img := vecaddImg(t, "EPXA1")
+	if _, err := g.AddMember(img, 1, vim.Config{}, 0, 0); err == nil {
+		t.Fatal("accepted a one-frame member")
+	}
+	if _, err := g.AddMember(img, 4, vim.Config{}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Assemble(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddMember(img, 4, vim.Config{}, 0, 0); err == nil {
+		t.Fatal("added a member to an assembled gang")
+	}
+}

@@ -5,8 +5,8 @@
 // against a Ctx whose operations both perform the computation on the
 // simulated SDRAM and charge cycles according to a CostModel, through a
 // direct-mapped write-back D-cache. This "host-compiled, timed functional"
-// style is standard practice in system-level simulation; DESIGN.md §6
-// documents how the cost model is calibrated against the paper's published
+// style is standard practice in system-level simulation; the Calibration section of
+// docs/ARCHITECTURE.md documents how the cost model is calibrated against the paper's published
 // pure-software execution times.
 package cpu
 
@@ -30,8 +30,8 @@ type CostModel struct {
 	WBPenalty   int64 // dirty-line write-back to SDRAM
 }
 
-// DefaultCostModel returns the calibrated cost model described in DESIGN.md
-// §6. The values are ARM9-class and tuned so the pure-software adpcmdecode
+// DefaultCostModel returns the calibrated cost model described in
+// docs/ARCHITECTURE.md (Calibration). The values are ARM9-class and tuned so the pure-software adpcmdecode
 // and IDEA kernels land on the paper's published times (≈146 cycles/sample
 // and ≈6.6k cycles/block at 133 MHz).
 func DefaultCostModel() CostModel {

@@ -1,5 +1,5 @@
 // Package exp defines one runnable experiment per figure and table of the
-// paper's evaluation (§4), plus the ablations called out in DESIGN.md.
+// paper's evaluation (§4), plus ablations and the multi-coprocessor sessions experiment.
 // Each experiment regenerates the same rows/series the paper reports;
 // cmd/experiments renders them, and the root-level benchmarks wrap them.
 package exp
@@ -52,6 +52,7 @@ func All() []Experiment {
 		{ID: "PREFETCH", Title: "Ablation: sequential prefetch (§3.3)", Run: RunPrefetchAblation},
 		{ID: "PAGESIZE", Title: "Ablation: dual-port RAM page size (§3.3)", Run: RunPageSizeAblation},
 		{ID: "CHUNK", Title: "Ablation: hand-chunked baseline vs VIM (Figure 3)", Run: RunChunkAblation},
+		{ID: "SESSIONS", Title: "Multi-coprocessor sessions behind one VIM (partition split sweep)", Run: RunSessions},
 	}
 }
 

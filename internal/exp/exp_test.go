@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-// These tests assert the reproduction targets of DESIGN.md §6: the *shapes*
+// These tests assert the reproduction targets of the evaluation (§4): the *shapes*
 // of the paper's figures, not absolute numbers.
 
 func run(t *testing.T, id string) *Result {
@@ -201,7 +201,8 @@ func TestFig3Shape(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"FIG3", "FIG7", "FIG8", "FIG9", "OVERHEAD", "PORT",
-		"POLICY", "BOUNCE", "PIPELINE", "PREFETCH", "PAGESIZE", "CHUNK"}
+		"POLICY", "BOUNCE", "PIPELINE", "PREFETCH", "PAGESIZE", "CHUNK",
+		"SESSIONS"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

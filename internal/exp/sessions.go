@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro"
+	"repro/internal/copro/adpcmdec"
+	"repro/internal/copro/ideacp"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/vim"
+)
+
+// SessionsClockHz is the shared shell clock plan of the sessions gang: one
+// IMU clock for every tenant, with cores recompiled against divisors of it
+// (the IDEA core keeps its native 6 MHz, which divides 24 MHz; the ADPCM
+// core is recompiled from 40 MHz down to the shell's 24 MHz).
+const SessionsClockHz = 24_000_000
+
+// SessionsGang runs the concurrent IDEA+ADPCM gang: two coprocessor
+// sessions behind one Virtual Interface Manager on one board, IDEA
+// encrypting ideaBytes and ADPCM decoding adpcmBytes at the same time,
+// with ideaFrames of the page pool carved into IDEA's home partition and
+// the rest into ADPCM's. Both outputs are verified against the golden
+// algorithms before the report is returned.
+func SessionsGang(boardName, arb string, ideaFrames, ideaBytes, adpcmBytes int, seed int64) (*core.MultiReport, error) {
+	spec, ok := platform.SpecByName(boardName)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown board %q", boardName)
+	}
+	arbitration, ok := vim.NewArbitration(arb)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown arbitration %q", arb)
+	}
+	board, err := platform.NewBoard(spec)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.NewGang(board, arbitration)
+	if err != nil {
+		return nil, err
+	}
+
+	idea, err := g.AddMember(repro.IDEABitstream(spec.Name), ideaFrames, vim.Config{}, 0, SessionsClockHz)
+	if err != nil {
+		return nil, err
+	}
+	adpcmFrames := board.DP.Pages() - ideaFrames
+	adpcm, err := g.AddMember(repro.ADPCMBitstream(spec.Name), adpcmFrames, vim.Config{},
+		SessionsClockHz, SessionsClockHz)
+	if err != nil {
+		return nil, err
+	}
+
+	// User buffers and inputs (each member models its own process image).
+	rng := rand.New(rand.NewSource(seed))
+	var key repro.IDEAKey
+	rng.Read(key[:])
+	plain := make([]byte, ideaBytes)
+	rng.Read(plain)
+	packed := make([]byte, adpcmBytes)
+	rng.Read(packed)
+
+	ideaIn, err := board.Kern.Alloc(ideaBytes)
+	if err != nil {
+		return nil, err
+	}
+	ideaOut, err := board.Kern.Alloc(ideaBytes)
+	if err != nil {
+		return nil, err
+	}
+	adpcmIn, err := board.Kern.Alloc(adpcmBytes)
+	if err != nil {
+		return nil, err
+	}
+	adpcmOut, err := board.Kern.Alloc(adpcmBytes * 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := board.Kern.WriteUser(ideaIn, plain); err != nil {
+		return nil, err
+	}
+	if err := board.Kern.WriteUser(adpcmIn, packed); err != nil {
+		return nil, err
+	}
+
+	if err := idea.Sess.MapObject(ideacp.ObjIn, ideaIn, uint32(ideaBytes), vim.In); err != nil {
+		return nil, err
+	}
+	if err := idea.Sess.MapObject(ideacp.ObjOut, ideaOut, uint32(ideaBytes), vim.Out); err != nil {
+		return nil, err
+	}
+	if err := adpcm.Sess.MapObject(adpcmdec.ObjIn, adpcmIn, uint32(adpcmBytes), vim.In); err != nil {
+		return nil, err
+	}
+	if err := adpcm.Sess.MapObject(adpcmdec.ObjOut, adpcmOut, uint32(adpcmBytes*4), vim.Out); err != nil {
+		return nil, err
+	}
+	idea.Params = repro.IDEAEncryptParams(key, ideaBytes/8)
+	adpcm.Params = []uint32{uint32(adpcmBytes)}
+
+	if err := g.Assemble(); err != nil {
+		return nil, err
+	}
+	rep, err := g.ExecuteAll()
+	if err != nil {
+		return nil, err
+	}
+
+	// Verify both sessions' results against the golden algorithms — the
+	// gang must not trade correctness for concurrency.
+	gotIdea, err := board.Kern.ReadUser(ideaOut, ideaBytes)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(gotIdea, repro.GoldenIDEAEncrypt(key, plain)) {
+		return nil, fmt.Errorf("exp: gang IDEA output diverges from the reference cipher")
+	}
+	gotAdpcm, err := board.Kern.ReadUser(adpcmOut, adpcmBytes*4)
+	if err != nil {
+		return nil, err
+	}
+	wantSamples := repro.GoldenADPCMDecode(packed)
+	want := make([]byte, 2*len(wantSamples))
+	for i, s := range wantSamples {
+		binary.LittleEndian.PutUint16(want[2*i:], uint16(s))
+	}
+	if !bytes.Equal(gotAdpcm, want) {
+		return nil, fmt.Errorf("exp: gang ADPCM output diverges from the reference decoder")
+	}
+	return rep, nil
+}
+
+// RunSessions regenerates the sessions-layer experiment: concurrent
+// IDEA+ADPCM throughput behind one VIM on the EPXA4 (sixteen 2 KB frames)
+// as a function of the partition split, under both arbitration policies.
+// Static partitioning confines each session's paging to its home
+// partition; global-LRU lets the session that is paging harder steal the
+// coldest frames from its neighbour.
+func RunSessions() (*Result, error) {
+	const (
+		boardName  = "EPXA4"
+		ideaBytes  = 16384
+		adpcmBytes = 8192
+		seed       = int64(4242)
+	)
+	spec, _ := platform.SpecByName(boardName)
+	pool := spec.DPBytes >> spec.PageLog // 16 frames on the EPXA4
+	splits := []int{pool / 4, pool / 2, 3 * pool / 4}
+	tb := &stats.Table{
+		Title: fmt.Sprintf("concurrent IDEA (%d KB) + ADPCM (%d KB) on %s, shared shell @ %d MHz",
+			ideaBytes/1024, adpcmBytes/1024, boardName, SessionsClockHz/1_000_000),
+		Headers: []string{"split (idea+adpcm)", "arbitration", "total ms", "idea done ms",
+			"adpcm done ms", "idea faults", "adpcm faults", "steals"},
+	}
+	series := map[string]float64{}
+	for _, ideaFrames := range splits {
+		for _, arb := range []string{"static", "global-lru"} {
+			rep, err := SessionsGang(boardName, arb, ideaFrames, ideaBytes, adpcmBytes, seed)
+			if err != nil {
+				return nil, err
+			}
+			ideaS, adpcmS := rep.Sessions[0], rep.Sessions[1]
+			label := fmt.Sprintf("%s/%d+%d", arb, ideaFrames, pool-ideaFrames)
+			tb.AddRow(fmt.Sprintf("%d+%d", ideaFrames, pool-ideaFrames), arb,
+				ms(rep.TotalPs()), ms(ideaS.DonePs), ms(adpcmS.DonePs),
+				fmt.Sprintf("%d", ideaS.VIM.Faults), fmt.Sprintf("%d", adpcmS.VIM.Faults),
+				fmt.Sprintf("%d", rep.VIM.Steals))
+			series["total_ms/"+label] = rep.TotalPs() / 1e9
+			series["idea_done_ms/"+label] = ideaS.DonePs / 1e9
+			series["adpcm_done_ms/"+label] = adpcmS.DonePs / 1e9
+			series["idea_faults/"+label] = float64(ideaS.VIM.Faults)
+			series["adpcm_faults/"+label] = float64(adpcmS.VIM.Faults)
+			series["steals/"+label] = float64(rep.VIM.Steals)
+		}
+	}
+	return &Result{
+		ID:     "SESSIONS",
+		Title:  "Multi-coprocessor sessions behind one VIM",
+		Tables: []*stats.Table{tb},
+		Notes: []string{
+			"both coprocessors run concurrently behind one IMU and one manager; every cell verifies both outputs against the golden algorithms",
+			"starved partitions fault harder under static arbitration; global-LRU lets the paging-heavy session steal its neighbour's coldest frames",
+		},
+		Series: series,
+	}, nil
+}

@@ -13,6 +13,19 @@
 // follow-up ("a pipelined implementation of the IMU ... expected to mask
 // almost completely the translation overhead") by sustaining one translated
 // access per IMU cycle.
+//
+// # Channels and sessions
+//
+// Beyond the paper, the IMU multiplexes several coprocessors — FOS/SYNERGY
+// style shells load more than one accelerator behind one memory interface.
+// Each loaded coprocessor occupies a channel: an independent copy of the
+// translation FSM, the CP_* port, and the SR/AR/CR register bank, stacked
+// at RegWindow-sized offsets in the register window. The translation table
+// itself stays shared and session-tagged: every entry carries the session
+// identifier of its owner, the CAM matches on (session, object, page), and
+// a fault is delivered in the faulting channel's own register bank, so the
+// operating system always knows which session to service. A single-channel
+// IMU is bit-identical to the paper's original unit.
 package imu
 
 import (
@@ -52,9 +65,12 @@ type Config struct {
 
 // TLBEntry is one row of the translation table. The OS reads and writes
 // entries through the register window; the hardware sets Dirty and Ref and
-// stamps LastUse on hits.
+// stamps LastUse on hits. Sess tags the owning session so several
+// coprocessor channels can share the table without object-identifier
+// collisions (every session numbers its objects from zero).
 type TLBEntry struct {
 	Valid   bool
+	Sess    uint8  // owning session / channel index
 	Obj     uint8  // object identifier
 	VPage   uint32 // virtual page number within the object
 	Frame   uint8  // DP RAM page frame
@@ -117,7 +133,8 @@ type request struct {
 	dout uint32
 }
 
-// Counters aggregates IMU activity for reports.
+// Counters aggregates IMU activity for reports. The IMU keeps one global
+// set (all channels) and one per channel.
 type Counters struct {
 	Accesses    uint64 // translated accesses completed
 	Hits        uint64 // CAM hits
@@ -126,44 +143,70 @@ type Counters struct {
 	FaultCycles uint64 // cycles spent stalled in the fault state
 }
 
-// IMU is the interface management unit.
-type IMU struct {
-	cfg  Config
+// channel is the per-coprocessor slice of the IMU: one CP_* port, one
+// translation FSM, and one SR/AR/CR register bank. The translation table,
+// the LastUse stamp counter and the DP RAM are shared across channels.
+// The fields read by Eval's per-edge idle check (port, state, ctl) lead
+// the struct so the fast path touches a single cache line.
+type channel struct {
 	port *copro.Port
-	dp   *mem.DPRAM
-
-	// Architectural state (OS-visible).
-	tlb []TLBEntry
-	sr  uint32
-	ar  uint32
-	irq bool
 
 	// FSM state (two-phase: cur committed, next scheduled in Eval).
 	state fsmState
-	req   request
-
-	next pending
-	// noop marks an Eval that scheduled no state change, letting Update
-	// skip the commit entirely. The IMU is idle on the large majority of
-	// edges (the coprocessor computes internally between accesses), so
-	// this fast path keeps the per-edge cost to a few loads and branches.
-	noop bool
-	out  copro.IMUOut
 
 	// OS-requested asynchronous controls (the engine is paused when the
 	// OS runs, so these are plain flags), packed into one mask so the
 	// per-edge idle check is a single compare.
 	ctl ctlMask
 
-	stamp  uint64 // access counter for LastUse
-	Count  Counters
-	tlbIdx int // register-window entry selector
+	// noop marks an Eval that scheduled no state change, letting Update
+	// skip the commit entirely. A channel is idle on the large majority of
+	// edges (its coprocessor computes internally between accesses), so
+	// this fast path keeps the per-edge cost to a few loads and branches.
+	noop bool
 
-	// Trace hooks (nil when not recording).
+	sess uint8 // session tag written into TLB entries and CAM-matched
+
+	// Architectural state (OS-visible through this channel's bank).
+	sr  uint32
+	ar  uint32
+	irq bool
+
+	out copro.IMUOut
+	req request
+
+	next pending
+
+	Count Counters
+}
+
+// IMU is the interface management unit.
+type IMU struct {
+	cfg Config
+	dp  *mem.DPRAM
+
+	// Shared architectural state. ch aliases the leading channels of
+	// chbuf: backing the slice with a struct-resident array keeps the
+	// per-edge channel loads one indirection away from the IMU pointer,
+	// exactly like the pre-sessions field layout.
+	tlb   []TLBEntry
+	ch    []channel
+	chbuf [MaxChannels]channel
+	// anyWork marks an Eval in which at least one channel scheduled a
+	// state change, so Update's idle fast path is a single branch.
+	anyWork bool
+	irq     bool // CPU interrupt line: OR of the channel IRQs
+
+	stamp  uint64 // access counter for LastUse, shared across channels
+	Count  Counters
+	tlbIdx int // register-window entry selector (shared indirect port)
+
+	// Trace hooks (nil when not recording; channel 0 only).
 	trace *TraceHooks
 }
 
 // TraceHooks lets a testbench record the port-level waveform (Figure 7).
+// Tracing observes channel 0.
 type TraceHooks struct {
 	// OnEdge is called at every Eval with the current cycle index and the
 	// committed port values.
@@ -171,7 +214,7 @@ type TraceHooks struct {
 	cycle  uint64
 }
 
-// New builds an IMU over the given dual-port RAM.
+// New builds an IMU over the given dual-port RAM with one channel.
 func New(cfg Config, dp *mem.DPRAM) (*IMU, error) {
 	if cfg.Entries <= 0 || cfg.Entries > 256 {
 		return nil, fmt.Errorf("imu: %d TLB entries out of range", cfg.Entries)
@@ -189,19 +232,53 @@ func New(cfg Config, dp *mem.DPRAM) (*IMU, error) {
 	if dp.Pages() != cfg.Entries {
 		return nil, fmt.Errorf("imu: %d TLB entries but %d DP RAM frames", cfg.Entries, dp.Pages())
 	}
-	return &IMU{
+	u := &IMU{
 		cfg: cfg,
 		dp:  dp,
 		tlb: make([]TLBEntry, cfg.Entries),
-	}, nil
+	}
+	if err := u.SetChannels(1); err != nil {
+		return nil, err
+	}
+	return u, nil
 }
 
-// Bind attaches the coprocessor port.
-func (u *IMU) Bind(p *copro.Port) {
-	u.port = p
+// SetChannels reconfigures the IMU to n coprocessor channels, resetting all
+// channel state (FSMs, register banks, counters, port bindings). Call it
+// before binding ports and starting simulation; the shared TLB is also
+// invalidated.
+func (u *IMU) SetChannels(n int) error {
+	if n <= 0 || n > MaxChannels {
+		return fmt.Errorf("imu: %d channels out of range [1,%d]", n, MaxChannels)
+	}
+	u.chbuf = [MaxChannels]channel{}
+	u.ch = u.chbuf[:n]
+	for i := range u.ch {
+		u.ch[i].sess = uint8(i)
+		// A fresh quiescent port per channel: a channel left unbound is
+		// simply idle forever instead of dereferencing a nil port at the
+		// first edge. Real bindings replace these.
+		u.BindCh(i, copro.NewPort())
+	}
+	u.anyWork = false
+	u.irq = false
+	u.InvalidateAll()
+	return nil
+}
+
+// Channels returns the configured channel count.
+func (u *IMU) Channels() int { return len(u.ch) }
+
+// Bind attaches the coprocessor port to channel 0.
+func (u *IMU) Bind(p *copro.Port) { u.BindCh(0, p) }
+
+// BindCh attaches the coprocessor port of channel i.
+func (u *IMU) BindCh(i int, p *copro.Port) {
+	c := &u.ch[i]
+	c.port = p
 	// Pick up the (possibly fresh) port's committed outputs so trace hooks
 	// observe consistent values from the first edge.
-	u.out = p.IMU()
+	c.out = p.IMU()
 }
 
 // SetTrace installs waveform hooks.
@@ -211,80 +288,101 @@ func (u *IMU) SetTrace(t *TraceHooks) { u.trace = t }
 func (u *IMU) Config() Config { return u.cfg }
 
 // IdleUntilInput implements sim.Idler: it mirrors Eval's no-op fast path,
-// so the engine may bulk-skip IMU edges while the coprocessor computes
-// internally. The predicate depends only on the IMU's own FSM state, the
-// OS control mask (written while the engine is paused) and the committed
-// coprocessor outputs (written at coprocessor-domain edges), which is
-// exactly the contract sim.Idler requires. The idleness is open-ended —
-// only a coprocessor commit or an OS poke ends it — so the IMU does not
-// need the bounded sim.BulkIdler extension the coprocessor cores use for
-// their compute countdowns; under the event-driven scheduler the two
-// compose, letting whole boards jump to the coprocessor's wake edge. With
-// a waveform trace installed every edge must be recorded, so skipping is
-// declined.
+// so the engine may bulk-skip IMU edges while every bound coprocessor
+// computes internally. The predicate depends only on the channels' own FSM
+// states, the OS control masks (written while the engine is paused) and the
+// committed coprocessor outputs (written at coprocessor-domain edges),
+// which is exactly the contract sim.Idler requires. The idleness is
+// open-ended — only a coprocessor commit or an OS poke ends it — so the IMU
+// does not need the bounded sim.BulkIdler extension the coprocessor cores
+// use for their compute countdowns; under the event-driven scheduler the
+// two compose, letting whole boards jump to the coprocessor's wake edge.
+// With a waveform trace installed every edge must be recorded, so skipping
+// is declined.
 func (u *IMU) IdleUntilInput() bool {
 	if u.trace != nil {
 		return false
 	}
-	cp := u.port.CPRef()
-	return u.state == stIdle && u.ctl == 0 && !cp.Access && !cp.Fin && !cp.ParamInv
+	for i := range u.ch {
+		c := &u.ch[i]
+		cp := c.port.CPRef()
+		if c.state != stIdle || c.ctl != 0 || cp.Access || cp.Fin || cp.ParamInv {
+			return false
+		}
+	}
+	return true
 }
 
-// camMatch looks up (obj, vpage); returns the entry index or -1.
-func (u *IMU) camMatch(obj uint8, vpage uint32) int {
+// camMatch looks up (sess, obj, vpage); returns the entry index or -1.
+func (u *IMU) camMatch(sess, obj uint8, vpage uint32) int {
 	for i := range u.tlb {
 		e := &u.tlb[i]
-		if e.Valid && e.Obj == obj && e.VPage == vpage {
+		if e.Valid && e.Sess == sess && e.Obj == obj && e.VPage == vpage {
 			return i
 		}
 	}
 	return -1
 }
 
-// Eval implements sim.Ticker.
+// Eval implements sim.Ticker: every channel's FSM advances one state. The
+// per-channel idle fast path stays inline here — the IMU is idle on the
+// large majority of edges, so the no-op check must cost only a few loads
+// and branches, with the full FSM step (evalCh) paid only by channels
+// that have work.
 func (u *IMU) Eval() {
-	cp := u.port.CPRef()
 	if u.trace != nil && u.trace.OnEdge != nil {
-		u.trace.OnEdge(u.trace.cycle, *cp, u.out)
+		c := &u.ch[0]
+		u.trace.OnEdge(u.trace.cycle, *c.port.CPRef(), c.out)
 		u.trace.cycle++
 	}
-
-	// Idle fast path: no access in flight, no port event, no OS request —
-	// nothing can change this edge, so schedule nothing and let Update
-	// return immediately. Any state other than stIdle (including stFault,
-	// which counts stall cycles) takes the full path.
-	if u.state == stIdle && u.ctl == 0 && !cp.Access && !cp.Fin && !cp.ParamInv {
-		u.noop = true
-		return
+	anyWork := false
+	for i := range u.ch {
+		c := &u.ch[i]
+		cp := c.port.CPRef()
+		// Idle fast path: no access in flight, no port event, no OS
+		// request — nothing can change this edge, so schedule nothing and
+		// let Update skip the channel. Any state other than stIdle
+		// (including stFault, which counts stall cycles) takes the full
+		// path.
+		if c.state == stIdle && c.ctl == 0 && !cp.Access && !cp.Fin && !cp.ParamInv {
+			c.noop = true
+			continue
+		}
+		c.noop = false
+		anyWork = true
+		u.evalCh(c, cp)
 	}
-	u.noop = false
+	u.anyWork = anyWork
+}
 
-	n := &u.next
-	n.state = u.state
-	n.req = u.req
-	n.out = u.out
-	n.sr = u.sr
-	n.ar = u.ar
-	n.irq = u.irq
+// evalCh advances one non-idle channel's FSM.
+func (u *IMU) evalCh(c *channel, cp *copro.CPOut) {
+	n := &c.next
+	n.state = c.state
+	n.req = c.req
+	n.out = c.out
+	n.sr = c.sr
+	n.ar = c.ar
+	n.irq = c.irq
 	n.entryUpd = -1
 	n.doWrite = false
 
 	// OS control requests (engine was paused; apply at the next edge).
-	if u.ctl != 0 {
-		if u.ctl&ctlStart != 0 {
+	if c.ctl != 0 {
+		if c.ctl&ctlStart != 0 {
 			n.out.Start = true
 			n.sr |= SRRunning
 		}
-		if u.ctl&ctlAckDone != 0 {
+		if c.ctl&ctlAckDone != 0 {
 			n.out.Start = false
 			n.sr &^= SRDone | SRRunning
 			n.irq = false
 		}
-		if u.ctl&ctlStop != 0 {
+		if c.ctl&ctlStop != 0 {
 			n.out.Start = false
 			n.sr &^= SRRunning
 		}
-		u.ctl &= ctlRestart // restart is consumed by the fault state below
+		c.ctl &= ctlRestart // restart is consumed by the fault state below
 	}
 
 	// Completion has priority over memory traffic: a well-formed
@@ -296,7 +394,7 @@ func (u *IMU) Eval() {
 
 	// Parameter-page invalidation pulse.
 	if cp.ParamInv {
-		if i := u.camMatch(copro.ParamObj, 0); i >= 0 {
+		if i := u.camMatch(c.sess, copro.ParamObj, 0); i >= 0 {
 			e := u.tlb[i]
 			e.Valid = false
 			e.Dirty = false
@@ -304,29 +402,30 @@ func (u *IMU) Eval() {
 			n.entry = e
 			n.sr |= SRParamFree
 			u.Count.ParamFrees++
+			c.Count.ParamFrees++
 		}
 	}
 
-	switch u.state {
+	switch c.state {
 	case stIdle:
 		if cp.Access {
 			n.req = request{obj: cp.Obj, addr: cp.Addr, size: cp.Size, wr: cp.Wr, dout: cp.DOut}
 			if u.cfg.Mode == Pipelined {
-				u.translate(n)
+				u.translate(c, n)
 			} else {
 				n.state = stCAM
 			}
 		}
 	case stCAM:
-		if i := u.camMatch(u.req.obj, u.req.addr>>u.cfg.PageShift); i >= 0 {
+		if i := u.camMatch(c.sess, c.req.obj, c.req.addr>>u.cfg.PageShift); i >= 0 {
 			n.state = stXlate
 		} else {
-			u.raiseFault(n)
+			u.raiseFault(c, n)
 		}
 	case stXlate:
 		n.state = stAccess
 	case stAccess:
-		u.translate(n)
+		u.translate(c, n)
 	case stDrop:
 		if !cp.Access {
 			n.out.TLBHit = false
@@ -334,13 +433,14 @@ func (u *IMU) Eval() {
 		}
 	case stFault:
 		u.Count.FaultCycles++
-		if u.ctl&ctlRestart != 0 {
-			u.ctl &^= ctlRestart
+		c.Count.FaultCycles++
+		if c.ctl&ctlRestart != 0 {
+			c.ctl &^= ctlRestart
 			n.sr &^= SRFault
 			n.irq = false
 			// Retry the latched request from the CAM stage.
 			if u.cfg.Mode == Pipelined {
-				u.translate(n)
+				u.translate(c, n)
 			} else {
 				n.state = stCAM
 			}
@@ -350,12 +450,12 @@ func (u *IMU) Eval() {
 
 // translate performs CAM match + memory access in one step (the final stage
 // of the multi-cycle FSM, or the whole pipelined access).
-func (u *IMU) translate(n *pending) {
+func (u *IMU) translate(c *channel, n *pending) {
 	r := n.req
 	vpage := r.addr >> u.cfg.PageShift
-	i := u.camMatch(r.obj, vpage)
+	i := u.camMatch(c.sess, r.obj, vpage)
 	if i < 0 {
-		u.raiseFault(n)
+		u.raiseFault(c, n)
 		return
 	}
 	e := u.tlb[i]
@@ -387,7 +487,7 @@ func (u *IMU) translate(n *pending) {
 		if err != nil {
 			// A translated address can only be out of range if the
 			// TLB was misprogrammed; treat as a fault for the OS.
-			u.raiseFault(n)
+			u.raiseFault(c, n)
 			return
 		}
 		v := word >> (8 * lane)
@@ -405,52 +505,70 @@ func (u *IMU) translate(n *pending) {
 	n.state = stDrop
 	u.Count.Accesses++
 	u.Count.Hits++
+	c.Count.Accesses++
+	c.Count.Hits++
 }
 
-// raiseFault latches the fault cause and interrupts the OS.
-func (u *IMU) raiseFault(n *pending) {
+// raiseFault latches the fault cause in the channel's bank and interrupts
+// the OS.
+func (u *IMU) raiseFault(c *channel, n *pending) {
 	n.state = stFault
 	n.sr |= SRFault
 	n.ar = uint32(n.req.obj)<<24 | n.req.addr&0x00ffffff
 	n.irq = true
 	u.Count.Faults++
+	c.Count.Faults++
 }
 
 // Update implements sim.Ticker.
 func (u *IMU) Update() {
-	if u.noop {
-		// The committed port outputs are unchanged, so skipping the
-		// Set/Commit pair leaves the coprocessor-visible values intact.
-		u.noop = false
+	if !u.anyWork {
+		// Every channel took Eval's no-op fast path: the committed port
+		// outputs are unchanged, so skipping the commit loop leaves all
+		// coprocessor-visible values intact.
 		return
 	}
-	n := &u.next
-	if n.doWrite {
-		// The translated store hits the DP RAM exactly once, at commit.
-		if err := u.dp.WriteA(n.wAddr, n.wData, n.wBE); err != nil {
-			// Unreachable when the TLB is consistent; keep the model
-			// honest by dropping the hit and faulting instead.
-			n.state = stFault
-			n.sr |= SRFault
-			n.irq = true
-			n.out.TLBHit = false
+	for i := range u.ch {
+		c := &u.ch[i]
+		if c.noop {
+			continue
+		}
+		n := &c.next
+		if n.doWrite {
+			// The translated store hits the DP RAM exactly once, at commit.
+			if err := u.dp.WriteA(n.wAddr, n.wData, n.wBE); err != nil {
+				// Unreachable when the TLB is consistent; keep the model
+				// honest by dropping the hit and faulting instead.
+				n.state = stFault
+				n.sr |= SRFault
+				n.irq = true
+				n.out.TLBHit = false
+			}
+		}
+		if n.entryUpd >= 0 {
+			u.tlb[n.entryUpd] = n.entry
+		}
+		c.state = n.state
+		c.req = n.req
+		c.sr = n.sr
+		c.ar = n.ar
+		c.irq = n.irq
+		c.out = n.out
+		// Skip the schedule/commit pair when the port already holds the new
+		// bundle. Comparing against the port's committed value (rather than a
+		// local mirror) keeps the guard exact even if the port is Reset or
+		// rebound between runs.
+		if n.out != *c.port.IMURef() {
+			c.port.SetIMU(n.out)
+			c.port.CommitIMU()
 		}
 	}
-	if n.entryUpd >= 0 {
-		u.tlb[n.entryUpd] = n.entry
+	irq := false
+	for i := range u.ch {
+		if u.ch[i].irq {
+			irq = true
+			break
+		}
 	}
-	u.state = n.state
-	u.req = n.req
-	u.sr = n.sr
-	u.ar = n.ar
-	u.irq = n.irq
-	u.out = n.out
-	// Skip the schedule/commit pair when the port already holds the new
-	// bundle. Comparing against the port's committed value (rather than a
-	// local mirror) keeps the guard exact even if the port is Reset or
-	// rebound between runs.
-	if n.out != *u.port.IMURef() {
-		u.port.SetIMU(n.out)
-		u.port.CommitIMU()
-	}
+	u.irq = irq
 }

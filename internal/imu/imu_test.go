@@ -344,7 +344,7 @@ func TestRegisterWindow(t *testing.T) {
 	if err := u.RegWrite(RegCR, CRStart); err != nil {
 		t.Fatal(err)
 	}
-	if u.ctl&ctlStart == 0 {
+	if u.ch[0].ctl&ctlStart == 0 {
 		t.Fatal("CRStart did not request start")
 	}
 }

@@ -7,18 +7,32 @@ import (
 )
 
 // Register-window word offsets (the IMU's AHB slave interface, Figure 4's
-// AR/SR/CR block plus the TLB access port).
+// AR/SR/CR block plus the TLB access port). Channel i's bank is stacked at
+// byte offset i*RegWindow; SR/AR/CR are per channel, while the TLB access
+// port (index, entry words, count, stamp) addresses the shared table from
+// any bank.
 const (
 	RegSR       = 0x00 // status (RO)
 	RegAR       = 0x04 // fault address (RO): obj<<24 | byte address
 	RegCR       = 0x08 // control (WO)
 	RegTLBIdx   = 0x0c // TLB entry selector (RW)
-	RegTLBLo    = 0x10 // selected entry: valid|obj|vpage (RW)
+	RegTLBLo    = 0x10 // selected entry: valid|obj|vpage|sess (RW)
 	RegTLBHi    = 0x14 // selected entry: frame|dirty|ref (RW)
 	RegTLBCount = 0x18 // number of TLB entries (RO)
 	RegLastUse  = 0x1c // LastUse stamp of the selected entry (RO)
-	RegWindow   = 0x20 // total window size in bytes
+	RegWindow   = 0x20 // per-channel bank size in bytes
 )
+
+// MaxChannels bounds the coprocessor channels one IMU can serve; it also
+// sizes the AHB register window (MaxChannels banks of RegWindow bytes).
+const MaxChannels = 8
+
+// RegWindowAll is the full banked register window size in bytes.
+const RegWindowAll = RegWindow * MaxChannels
+
+// RegBank returns the byte offset of channel i's register bank within the
+// window.
+func RegBank(i int) uint32 { return uint32(i) * RegWindow }
 
 // Control register bits.
 const (
@@ -31,49 +45,101 @@ const (
 
 // --- Direct (engine-paused) OS accessors -------------------------------
 
-// SR returns the status register.
-func (u *IMU) SR() uint32 { return u.sr }
+// SR returns channel 0's status register.
+func (u *IMU) SR() uint32 { return u.ch[0].sr }
 
-// AR returns the fault address register.
-func (u *IMU) AR() uint32 { return u.ar }
+// SRCh returns channel i's status register.
+func (u *IMU) SRCh(i int) uint32 { return u.ch[i].sr }
 
-// IRQ reports whether the interrupt line is asserted.
+// AR returns channel 0's fault address register.
+func (u *IMU) AR() uint32 { return u.ch[0].ar }
+
+// ARCh returns channel i's fault address register.
+func (u *IMU) ARCh(i int) uint32 { return u.ch[i].ar }
+
+// IRQ reports whether the (shared) interrupt line is asserted.
 func (u *IMU) IRQ() bool { return u.irq }
 
+// IRQCh reports whether channel i is contributing to the interrupt line.
+func (u *IMU) IRQCh(i int) bool { return u.ch[i].irq }
+
 // IRQRef exposes the interrupt line for the engine's flag-polled run loop
-// (sim.Engine.RunUntilFlag). The line is only written during Update, so
-// polling it between super-edges observes committed state.
+// (sim.Engine.RunUntilFlag). The line is the OR of the channel IRQs and is
+// only written during Update, so polling it between super-edges observes
+// committed state.
 func (u *IMU) IRQRef() *bool { return &u.irq }
 
-// FaultPending reports a pending translation fault.
-func (u *IMU) FaultPending() bool { return u.sr&SRFault != 0 }
+// FaultPending reports a pending translation fault on channel 0.
+func (u *IMU) FaultPending() bool { return u.ch[0].sr&SRFault != 0 }
 
-// DonePending reports a pending completion notification.
-func (u *IMU) DonePending() bool { return u.sr&SRDone != 0 }
+// FaultPendingCh reports a pending translation fault on channel i.
+func (u *IMU) FaultPendingCh(i int) bool { return u.ch[i].sr&SRFault != 0 }
 
-// ParamFree reports that the coprocessor has released the parameter page.
-func (u *IMU) ParamFree() bool { return u.sr&SRParamFree != 0 }
+// DonePending reports a pending completion notification on channel 0.
+func (u *IMU) DonePending() bool { return u.ch[0].sr&SRDone != 0 }
 
-// ClearParamFree clears the parameter-free status bit (VIM bookkeeping).
-func (u *IMU) ClearParamFree() { u.sr &^= SRParamFree }
+// DonePendingCh reports a pending completion notification on channel i.
+func (u *IMU) DonePendingCh(i int) bool { return u.ch[i].sr&SRDone != 0 }
 
-// FaultObj decodes the faulting object identifier from AR.
-func (u *IMU) FaultObj() uint8 { return uint8(u.ar >> 24) }
+// ParamFree reports that channel 0's coprocessor has released the parameter
+// page.
+func (u *IMU) ParamFree() bool { return u.ch[0].sr&SRParamFree != 0 }
 
-// FaultAddr decodes the faulting byte address from AR.
-func (u *IMU) FaultAddr() uint32 { return u.ar & 0x00ffffff }
+// ParamFreeCh reports that channel i's coprocessor has released the
+// parameter page.
+func (u *IMU) ParamFreeCh(i int) bool { return u.ch[i].sr&SRParamFree != 0 }
 
-// Start requests CP_START assertion at the next hardware edge.
-func (u *IMU) Start() { u.ctl |= ctlStart }
+// ClearParamFree clears channel 0's parameter-free status bit.
+func (u *IMU) ClearParamFree() { u.ch[0].sr &^= SRParamFree }
 
-// Stop requests CP_START deassertion.
-func (u *IMU) Stop() { u.ctl |= ctlStop }
+// ClearParamFreeCh clears channel i's parameter-free status bit.
+func (u *IMU) ClearParamFreeCh(i int) { u.ch[i].sr &^= SRParamFree }
 
-// Restart resumes a faulted translation after the OS has fixed the TLB.
-func (u *IMU) Restart() { u.ctl |= ctlRestart }
+// FaultObj decodes the faulting object identifier from channel 0's AR.
+func (u *IMU) FaultObj() uint8 { return uint8(u.ch[0].ar >> 24) }
 
-// AckDone acknowledges completion and returns the IMU to idle.
-func (u *IMU) AckDone() { u.ctl |= ctlAckDone }
+// FaultAddr decodes the faulting byte address from channel 0's AR.
+func (u *IMU) FaultAddr() uint32 { return u.ch[0].ar & 0x00ffffff }
+
+// Start requests CP_START assertion on channel 0 at the next hardware edge.
+func (u *IMU) Start() { u.ch[0].ctl |= ctlStart }
+
+// StartCh requests CP_START assertion on channel i.
+func (u *IMU) StartCh(i int) { u.ch[i].ctl |= ctlStart }
+
+// Stop requests CP_START deassertion on channel 0.
+func (u *IMU) Stop() { u.ch[0].ctl |= ctlStop }
+
+// StopCh requests CP_START deassertion on channel i.
+func (u *IMU) StopCh(i int) { u.ch[i].ctl |= ctlStop }
+
+// Restart resumes channel 0's faulted translation after the OS has fixed
+// the TLB.
+func (u *IMU) Restart() { u.ch[0].ctl |= ctlRestart }
+
+// RestartCh resumes channel i's faulted translation.
+func (u *IMU) RestartCh(i int) { u.ch[i].ctl |= ctlRestart }
+
+// AckDone acknowledges completion on channel 0.
+func (u *IMU) AckDone() { u.ch[0].ctl |= ctlAckDone }
+
+// AckDoneCh acknowledges completion on channel i.
+func (u *IMU) AckDoneCh(i int) { u.ch[i].ctl |= ctlAckDone }
+
+// ChCounters returns channel i's activity counters.
+func (u *IMU) ChCounters(i int) Counters { return u.ch[i].Count }
+
+// InjectFault forces channel i into the faulted state with the given cause
+// (testbench support: unit tests of the fault-service path poke the fault
+// without running a coprocessor model).
+func (u *IMU) InjectFault(i int, obj uint8, addr uint32) {
+	c := &u.ch[i]
+	c.state = stFault
+	c.sr |= SRFault
+	c.ar = uint32(obj)<<24 | addr&0x00ffffff
+	c.irq = true
+	u.irq = true
+}
 
 // Entries returns the TLB size.
 func (u *IMU) Entries() int { return len(u.tlb) }
@@ -104,15 +170,31 @@ func (u *IMU) ClearRefBits() {
 	}
 }
 
-// InvalidateAll clears the whole TLB (end of operation).
+// InvalidateAll clears the whole TLB (end of operation, single session).
 func (u *IMU) InvalidateAll() {
 	for i := range u.tlb {
 		u.tlb[i] = TLBEntry{}
 	}
 }
 
-// ResetCounters zeroes the activity counters (between experiment runs).
-func (u *IMU) ResetCounters() { u.Count = Counters{} }
+// InvalidateSession clears only the entries owned by session sess (end of
+// one session's operation on a shared table).
+func (u *IMU) InvalidateSession(sess uint8) {
+	for i := range u.tlb {
+		if u.tlb[i].Valid && u.tlb[i].Sess == sess {
+			u.tlb[i] = TLBEntry{}
+		}
+	}
+}
+
+// ResetCounters zeroes the activity counters, global and per channel
+// (between experiment runs).
+func (u *IMU) ResetCounters() {
+	u.Count = Counters{}
+	for i := range u.ch {
+		u.ch[i].Count = Counters{}
+	}
+}
 
 // --- Register window encoding ------------------------------------------
 
@@ -123,6 +205,7 @@ func packLo(e TLBEntry) uint32 {
 	}
 	v |= uint32(e.Obj) << 1
 	v |= (e.VPage & 0x7fff) << 9
+	v |= uint32(e.Sess&0xf) << 24
 	return v
 }
 
@@ -130,6 +213,7 @@ func unpackLo(v uint32, e *TLBEntry) {
 	e.Valid = v&1 != 0
 	e.Obj = uint8(v >> 1)
 	e.VPage = v >> 9 & 0x7fff
+	e.Sess = uint8(v >> 24 & 0xf)
 }
 
 func packHi(e TLBEntry) uint32 {
@@ -149,13 +233,19 @@ func unpackHi(v uint32, e *TLBEntry) {
 	e.Ref = v&(1<<9) != 0
 }
 
-// RegRead implements the slave read path of the register window.
+// RegRead implements the slave read path of the banked register window:
+// byte offset = bank*RegWindow + register, where bank selects the channel.
 func (u *IMU) RegRead(off uint32) (uint32, error) {
-	switch off {
+	bank := int(off / RegWindow)
+	if bank >= len(u.ch) {
+		return 0, fmt.Errorf("imu: read from bank %d of a %d-channel IMU", bank, len(u.ch))
+	}
+	c := &u.ch[bank]
+	switch off % RegWindow {
 	case RegSR:
-		return u.sr, nil
+		return c.sr, nil
 	case RegAR:
-		return u.ar, nil
+		return c.ar, nil
 	case RegTLBIdx:
 		return uint32(u.tlbIdx), nil
 	case RegTLBLo:
@@ -171,24 +261,28 @@ func (u *IMU) RegRead(off uint32) (uint32, error) {
 	}
 }
 
-// RegWrite implements the slave write path of the register window.
+// RegWrite implements the slave write path of the banked register window.
 func (u *IMU) RegWrite(off uint32, v uint32) error {
-	switch off {
+	bank := int(off / RegWindow)
+	if bank >= len(u.ch) {
+		return fmt.Errorf("imu: write to bank %d of a %d-channel IMU", bank, len(u.ch))
+	}
+	switch off % RegWindow {
 	case RegCR:
 		if v&CRStart != 0 {
-			u.Start()
+			u.StartCh(bank)
 		}
 		if v&CRRestart != 0 {
-			u.Restart()
+			u.RestartCh(bank)
 		}
 		if v&CRAckDone != 0 {
-			u.AckDone()
+			u.AckDoneCh(bank)
 		}
 		if v&CRStop != 0 {
-			u.Stop()
+			u.StopCh(bank)
 		}
 		if v&CRClrPF != 0 {
-			u.ClearParamFree()
+			u.ClearParamFreeCh(bank)
 		}
 		return nil
 	case RegTLBIdx:
@@ -210,7 +304,7 @@ func (u *IMU) RegWrite(off uint32, v uint32) error {
 	}
 }
 
-// Slave returns an AHB slave exposing the register window.
+// Slave returns an AHB slave exposing the banked register window.
 func (u *IMU) Slave() amba.Slave {
 	return &amba.RegSlave{Label: "imu-regs", ReadFn: u.RegRead, WriteFn: u.RegWrite}
 }

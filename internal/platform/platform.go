@@ -128,7 +128,7 @@ func NewBoard(spec Spec) (*Board, error) {
 	if err := bus.Map(DPBase, uint32(spec.DPBytes), &amba.DPRAMSlave{RAM: dp}); err != nil {
 		return nil, err
 	}
-	if err := bus.Map(IMURegBase, imu.RegWindow, u.Slave()); err != nil {
+	if err := bus.Map(IMURegBase, imu.RegWindowAll, u.Slave()); err != nil {
 		return nil, err
 	}
 	core, err := cpu.NewCore(spec.CPUHz, spec.Cost, spec.Cache, sdram)
@@ -171,6 +171,13 @@ func (b *Board) Assemble(coreHz, imuHz int64, core copro.Coprocessor) (*HW, erro
 	if coreHz <= 0 || imuHz <= 0 {
 		return nil, fmt.Errorf("platform: non-positive clocks %d/%d", coreHz, imuHz)
 	}
+	// A previous multi-session assembly may have left the IMU with several
+	// channels; the single-coprocessor shape uses exactly one.
+	if b.IMU.Channels() != 1 {
+		if err := b.IMU.SetChannels(1); err != nil {
+			return nil, err
+		}
+	}
 	port := copro.NewPort()
 	b.IMU.Bind(port)
 	core.Bind(port)
@@ -188,4 +195,70 @@ func (b *Board) Assemble(coreHz, imuHz int64, core copro.Coprocessor) (*HW, erro
 		return nil, err
 	}
 	return &HW{Eng: eng, IMUDom: imuDom, CoproDom: coproDom, Port: port, Core: core}, nil
+}
+
+// CoproSlot describes one loaded coprocessor of a multi-session assembly:
+// the core model and the clock it runs at. Every slot shares the board's
+// IMU (one channel each) and its dual-port RAM.
+type CoproSlot struct {
+	Core   copro.Coprocessor
+	CoreHz int64
+}
+
+// MultiHW is a multi-coprocessor hardware assembly: one engine driving the
+// board's IMU plus one clock domain and port per loaded coprocessor —
+// the FOS/SYNERGY-style shell in which several accelerators sit behind one
+// memory interface.
+type MultiHW struct {
+	Eng    *sim.Engine
+	IMUDom *sim.Domain
+	Doms   []*sim.Domain // per-slot core domain (may alias IMUDom)
+	Ports  []*copro.Port
+	Cores  []copro.Coprocessor
+}
+
+// AssembleMulti builds the clock domains for several loaded coprocessors
+// sharing the board's IMU: channel i of the IMU serves slots[i]. All clock
+// pairs must form integer ratios (the shared shell fixes one clock plan for
+// every tenant, so cores are "recompiled" against divisors of the shell's
+// IMU clock). Cores attach before the IMU so the deterministic order is
+// fixed; two-phase semantics make the order observationally irrelevant.
+func (b *Board) AssembleMulti(imuHz int64, slots []CoproSlot) (*MultiHW, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("platform: no coprocessor slots")
+	}
+	if imuHz <= 0 {
+		return nil, fmt.Errorf("platform: non-positive IMU clock %d", imuHz)
+	}
+	if err := b.IMU.SetChannels(len(slots)); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	imuDom := eng.NewDomain("imu", imuHz)
+	hw := &MultiHW{Eng: eng, IMUDom: imuDom}
+	for i, sl := range slots {
+		if sl.Core == nil {
+			return nil, fmt.Errorf("platform: nil coprocessor in slot %d", i)
+		}
+		if sl.CoreHz <= 0 {
+			return nil, fmt.Errorf("platform: non-positive clock %d in slot %d", sl.CoreHz, i)
+		}
+		port := copro.NewPort()
+		b.IMU.BindCh(i, port)
+		sl.Core.Bind(port)
+		sl.Core.ResetCore()
+		dom := imuDom
+		if sl.CoreHz != imuHz {
+			dom = eng.NewDomain(fmt.Sprintf("copro%d", i), sl.CoreHz)
+		}
+		dom.Attach(sl.Core)
+		hw.Doms = append(hw.Doms, dom)
+		hw.Ports = append(hw.Ports, port)
+		hw.Cores = append(hw.Cores, sl.Core)
+	}
+	imuDom.Attach(b.IMU)
+	if err := eng.Validate(); err != nil {
+		return nil, err
+	}
+	return hw, nil
 }

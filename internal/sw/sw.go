@@ -8,7 +8,7 @@
 // The per-statement accounting mirrors the unoptimised C the paper's port
 // used (operands bounce through the stack; the IDEA modular multiplication
 // calls the software division library). SpillALU is the single calibration
-// knob documented in DESIGN.md §6: it models the residual per-iteration
+// knob documented in docs/ARCHITECTURE.md (Calibration): it models the residual per-iteration
 // stack traffic of the -O0 build and is fixed by matching the paper's
 // published pure-software times.
 package sw
@@ -19,7 +19,7 @@ import (
 )
 
 // SpillALU is the calibrated per-sample/per-operation stack-spill factor
-// (ALU-cost units) of the unoptimised compile; see DESIGN.md §6.
+// (ALU-cost units) of the unoptimised compile; see docs/ARCHITECTURE.md.
 const SpillALU = 43
 
 // Tables holds the SDRAM addresses of the ADPCM codec ROMs; the software

@@ -92,7 +92,7 @@ func TestIDEAApplyMatchesGolden(t *testing.T) {
 }
 
 // TestCalibration asserts the cost model lands in the neighbourhood of the
-// paper's published software times (DESIGN.md §6): ≈146 cycles/sample for
+// paper's published software times (docs/ARCHITECTURE.md, Calibration): ≈146 cycles/sample for
 // adpcmdecode and ≈6.6k cycles/block for IDEA, both ±35%.
 func TestCalibration(t *testing.T) {
 	x := newCtx(t)

@@ -13,13 +13,26 @@
 // actions as prefetching could be used"), and the bounce-buffer transfer
 // mode that reproduces the double-copy inefficiency the paper reports and
 // was removing.
+//
+// # Sessions
+//
+// Beyond the paper, the manager is multi-tenant: a Manager owns the shared
+// page pool (the frames of one dual-port RAM) and any number of Sessions,
+// one per loaded coprocessor. Each session brings its own mapped-object
+// table, its own slice of the IMU translation table (entries are
+// session-tagged), its own replacement policy, a home partition of the page
+// pool, and its own counters. How sessions compete for frames is decided by
+// the manager-wide Arbitration policy: StaticPartition confines every
+// session to its home partition, GlobalLRU lets a loaded session steal the
+// globally least-recently-used frame from a neighbour. The single-session
+// constructor New builds a manager whose only session spans the whole pool,
+// which reproduces the paper's original module bit for bit.
 package vim
 
 import (
 	"errors"
 	"fmt"
 
-	"repro/internal/copro"
 	"repro/internal/imu"
 	"repro/internal/kernel"
 	"repro/internal/stats"
@@ -56,6 +69,7 @@ var (
 	ErrBadObject   = errors.New("vim: invalid object")
 	ErrOutOfBounds = errors.New("vim: coprocessor access beyond object bounds")
 	ErrNoFrames    = errors.New("vim: no evictable frame")
+	ErrPartition   = errors.New("vim: bad session partition")
 )
 
 // Object is one mapped data object (the FPGA_MAP_OBJECT contract).
@@ -71,18 +85,22 @@ func (o *Object) Pages(pageSize uint32) uint32 {
 	return (o.Size + pageSize - 1) / pageSize
 }
 
-// Frame is the manager's view of one DP RAM page frame.
+// Frame is the manager's view of one DP RAM page frame. Sess identifies the
+// owning session while the frame is occupied; free frames belong to the
+// home partition they sit in.
 type Frame struct {
 	Occupied bool
-	Pinned   bool // parameter page while still live
+	Pinned   bool  // parameter page while still live
+	Sess     uint8 // owning session while occupied
 	Obj      uint8
 	VPage    uint32
 	LoadSeq  uint64
 }
 
-// Config tunes the manager.
+// Config tunes one session of the manager.
 type Config struct {
-	// Policy picks eviction victims; nil means FIFO.
+	// Policy picks eviction victims among the session's own frames; nil
+	// means FIFO.
 	Policy Policy
 	// BounceBuffer reproduces the paper's naive implementation that makes
 	// two transfers per page movement (user <-> kernel buffer <-> DP RAM).
@@ -93,7 +111,8 @@ type Config struct {
 	PrefetchPages int
 }
 
-// Counters aggregates manager activity.
+// Counters aggregates manager activity. The manager keeps one aggregate set
+// across all sessions plus one per session.
 type Counters struct {
 	Faults       uint64
 	Evictions    uint64
@@ -102,180 +121,308 @@ type Counters struct {
 	PagesFlushed uint64 // dirty pages copied back at end of operation
 	LoadsElided  uint64 // OUT pages mapped without a data copy
 	Prefetches   uint64
+	Steals       uint64 // frames evicted from another session (GlobalLRU)
 	BytesIn      uint64 // user -> DP RAM
 	BytesOut     uint64 // DP RAM -> user
 }
 
-// Manager is the Virtual Interface Manager.
+// Arbitration decides how sessions compete for page frames.
+type Arbitration int
+
+const (
+	// StaticPartition confines every session to its home partition: frames
+	// are allocated and evicted strictly within [lo, hi).
+	StaticPartition Arbitration = iota
+	// GlobalLRU lets a session that has exhausted its partition take the
+	// frame pool's globally least-recently-used frame: the owner of that
+	// frame is chosen as the victim session, the owner's own replacement
+	// policy picks which of its frames to give up, and the stealing
+	// session takes it over.
+	GlobalLRU
+)
+
+// String implements fmt.Stringer.
+func (a Arbitration) String() string {
+	if a == GlobalLRU {
+		return "global-lru"
+	}
+	return "static"
+}
+
+// NewArbitration resolves an arbitration policy by name ("static",
+// "global-lru").
+func NewArbitration(name string) (Arbitration, bool) {
+	switch name {
+	case "", "static":
+		return StaticPartition, true
+	case "global-lru", "globallru", "lru":
+		return GlobalLRU, true
+	}
+	return StaticPartition, false
+}
+
+// Manager is the Virtual Interface Manager: the shared half of the
+// subsystem. It owns the frame pool, the arbitration policy, the bounce
+// staging buffer and the aggregate counters; Sessions own everything
+// per-tenant.
 type Manager struct {
 	k       *kernel.Kernel
 	u       *imu.IMU
-	cfg     Config
+	arb     Arbitration
 	dpBase  uint32 // AHB base address of the DP RAM
 	regBase uint32 // AHB base address of the IMU register window
 	pageSz  uint32
 
-	objects map[uint8]*Object
-	frames  []Frame
-	seq     uint64
+	frames   []Frame
+	sessions []*Session
+	carved   int // frames already assigned to partitions
 
-	// writtenBack records (obj, vpage) pairs whose partial contents have
-	// been copied to user space by a dirty eviction. Load elision for
-	// output objects is only sound on a page's *first* residency: once a
-	// partially written page has been written back, a later fault must
-	// reload it or the next flush would clobber the earlier writes with
-	// frame garbage.
-	writtenBack map[uint64]bool
+	// view is the reusable scratch slice scopedVictim hands to replacement
+	// policies: a copy of frames with foreign sessions' frames blanked.
+	view []Frame
 
-	// bounce is the kernel-space staging buffer address (allocated once).
+	// bounce is the kernel-space staging buffer address (allocated once,
+	// shared by all bounce-mode sessions; OS services are serialised).
 	bounce uint32
 
+	// Count aggregates activity across every session.
 	Count Counters
 }
 
-// New builds a manager for the given kernel and IMU; dpBase and regBase are
-// the AHB addresses of the DP RAM and the IMU register window.
-func New(k *kernel.Kernel, u *imu.IMU, dpBase, regBase uint32, pageSize int, cfg Config) (*Manager, error) {
+// NewManager builds an empty multi-session manager over the kernel and IMU;
+// dpBase and regBase are the AHB addresses of the DP RAM and the IMU
+// register window. Partitions are carved by AddSession.
+func NewManager(k *kernel.Kernel, u *imu.IMU, dpBase, regBase uint32, pageSize int, arb Arbitration) (*Manager, error) {
 	if k == nil || u == nil {
 		return nil, fmt.Errorf("vim: nil kernel or IMU")
+	}
+	return &Manager{
+		k:       k,
+		u:       u,
+		arb:     arb,
+		dpBase:  dpBase,
+		regBase: regBase,
+		pageSz:  uint32(pageSize),
+		frames:  make([]Frame, u.Entries()),
+		view:    make([]Frame, u.Entries()),
+	}, nil
+}
+
+// New builds a single-session manager: the paper's original module, whose
+// only session spans the whole page pool.
+func New(k *kernel.Kernel, u *imu.IMU, dpBase, regBase uint32, pageSize int, cfg Config) (*Manager, error) {
+	m, err := NewManager(k, u, dpBase, regBase, pageSize, StaticPartition)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.AddSession(cfg, len(m.frames)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AddSession carves the next nframes frames of the pool into a new
+// session's home partition and returns the session. The session index must
+// have a matching IMU channel by the time hardware runs; the parameter page
+// occupies the partition's first frame, so a runnable session needs at
+// least two frames.
+func (m *Manager) AddSession(cfg Config, nframes int) (*Session, error) {
+	if len(m.sessions) >= imu.MaxChannels {
+		return nil, fmt.Errorf("%w: %d sessions exceed the %d IMU channels", ErrPartition, len(m.sessions)+1, imu.MaxChannels)
+	}
+	if nframes < 2 {
+		return nil, fmt.Errorf("%w: %d frames (the parameter page needs one, data at least one)", ErrPartition, nframes)
+	}
+	if m.carved+nframes > len(m.frames) {
+		return nil, fmt.Errorf("%w: %d frames requested, %d left in the pool", ErrPartition, nframes, len(m.frames)-m.carved)
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = FIFO{}
 	}
-	m := &Manager{
-		k:           k,
-		u:           u,
-		cfg:         cfg,
-		dpBase:      dpBase,
-		regBase:     regBase,
-		pageSz:      uint32(pageSize),
-		objects:     map[uint8]*Object{},
-		frames:      make([]Frame, u.Entries()),
-		writtenBack: map[uint64]bool{},
-	}
-	if cfg.BounceBuffer {
-		addr, err := k.Alloc(pageSize)
+	if cfg.BounceBuffer && m.bounce == 0 {
+		addr, err := m.k.Alloc(int(m.pageSz))
 		if err != nil {
 			return nil, fmt.Errorf("vim: bounce buffer: %w", err)
 		}
 		m.bounce = addr
 	}
-	return m, nil
+	s := &Session{
+		m:           m,
+		id:          uint8(len(m.sessions)),
+		lo:          m.carved,
+		hi:          m.carved + nframes,
+		cfg:         cfg,
+		objects:     map[uint8]*Object{},
+		writtenBack: map[uint64]bool{},
+	}
+	m.carved += nframes
+	m.sessions = append(m.sessions, s)
+	return s, nil
 }
 
-// Config returns the manager configuration.
-func (m *Manager) Config() Config { return m.cfg }
+// single reports whether the manager runs the paper's single-session shape
+// (one session spanning the whole pool), which uses the original unscoped
+// fast paths.
+func (m *Manager) single() bool { return len(m.sessions) == 1 }
+
+// Sessions returns the managed sessions (experiments, tools).
+func (m *Manager) Sessions() []*Session { return m.sessions }
+
+// Arbitration returns the inter-session arbitration policy.
+func (m *Manager) Arbitration() Arbitration { return m.arb }
+
+// errNoSessions guards the single-session compatibility shims: a manager
+// built with NewManager has no sessions until AddSession.
+func (m *Manager) errNoSessions() error {
+	if len(m.sessions) == 0 {
+		return fmt.Errorf("%w: manager has no sessions (AddSession first)", ErrPartition)
+	}
+	return nil
+}
+
+// Config returns the first session's configuration (single-session
+// compatibility; zero Config on a session-less manager).
+func (m *Manager) Config() Config {
+	if len(m.sessions) == 0 {
+		return Config{}
+	}
+	return m.sessions[0].cfg
+}
 
 // PageSize returns the page size in bytes.
 func (m *Manager) PageSize() uint32 { return m.pageSz }
 
-// Frames returns a copy of the frame table (tests, reports).
+// Frames returns a copy of the shared frame table (tests, reports).
 func (m *Manager) Frames() []Frame { return append([]Frame(nil), m.frames...) }
 
-// Objects returns the mapped objects (tests, reports).
+// Objects returns the first session's mapped objects (single-session
+// compatibility).
 func (m *Manager) Objects() []Object {
-	out := make([]Object, 0, len(m.objects))
-	for _, o := range m.objects {
-		out = append(out, *o)
+	if len(m.sessions) == 0 {
+		return nil
 	}
-	return out
+	return m.sessions[0].Objects()
 }
 
-// MapObject registers a user-space object for coprocessor use
-// (FPGA_MAP_OBJECT). Object IDs must be unique per execution and below the
-// parameter identifier.
+// MapObject registers a user-space object on the first session
+// (single-session compatibility).
 func (m *Manager) MapObject(id uint8, base, size uint32, dir Direction) error {
-	if id == copro.ParamObj {
-		return fmt.Errorf("%w: id %#x is reserved for the parameter page", ErrBadObject, id)
+	if err := m.errNoSessions(); err != nil {
+		return err
 	}
-	if _, dup := m.objects[id]; dup {
-		return fmt.Errorf("%w: id %d already mapped", ErrBadObject, id)
-	}
-	if size == 0 {
-		return fmt.Errorf("%w: object %d has zero size", ErrBadObject, id)
-	}
-	if base%4 != 0 {
-		return fmt.Errorf("%w: object %d base %#x not word aligned", ErrBadObject, id, base)
-	}
-	m.objects[id] = &Object{ID: id, Base: base, Size: size, Dir: dir}
-	return nil
+	return m.sessions[0].MapObject(id, base, size, dir)
 }
 
-// UnmapAll clears the object table (between executions).
-func (m *Manager) UnmapAll() { m.objects = map[uint8]*Object{} }
+// UnmapAll clears the first session's object table (between executions).
+func (m *Manager) UnmapAll() {
+	if len(m.sessions) > 0 {
+		m.sessions[0].UnmapAll()
+	}
+}
 
-// ResetCounters zeroes the activity counters.
-func (m *Manager) ResetCounters() { m.Count = Counters{} }
+// PrepareExecute performs the FPGA_EXECUTE setup on the first session
+// (single-session compatibility).
+func (m *Manager) PrepareExecute(params []uint32) error {
+	if err := m.errNoSessions(); err != nil {
+		return err
+	}
+	return m.sessions[0].PrepareExecute(params)
+}
+
+// HandleFault services the first session's translation fault
+// (single-session compatibility).
+func (m *Manager) HandleFault() error {
+	if err := m.errNoSessions(); err != nil {
+		return err
+	}
+	return m.sessions[0].HandleFault()
+}
+
+// Finish performs the first session's end-of-operation service
+// (single-session compatibility).
+func (m *Manager) Finish() error {
+	if err := m.errNoSessions(); err != nil {
+		return err
+	}
+	return m.sessions[0].Finish()
+}
+
+// ResetCounters zeroes the aggregate and every session's counters.
+func (m *Manager) ResetCounters() {
+	m.Count = Counters{}
+	for _, s := range m.sessions {
+		s.Count = Counters{}
+	}
+}
 
 // frameAddr returns the AHB address of frame f.
 func (m *Manager) frameAddr(f int) uint32 { return m.dpBase + uint32(f)*m.pageSz }
 
-// pageSpan returns the user address and byte length (word-padded) of page
-// vpage of object o.
-func (m *Manager) pageSpan(o *Object, vpage uint32) (uint32, int) {
-	off := vpage * m.pageSz
-	n := m.pageSz
-	if off+n > o.Size {
-		n = o.Size - off
+// scopedVictim asks the owner session's replacement policy for a victim
+// among the owner's own frames: the shared pool is copied into the scratch
+// view with every foreign (or free) frame blanked, so policies written for
+// the single-session manager work unchanged on a partitioned pool.
+func (m *Manager) scopedVictim(owner *Session) int {
+	copy(m.view, m.frames)
+	for i := range m.view {
+		if !(m.view[i].Occupied && m.view[i].Sess == owner.id) {
+			m.view[i] = Frame{}
+		}
 	}
-	// Word-pad: user buffers are allocated with 8-byte padding, so the
-	// rounded copy stays in bounds.
-	n = (n + 3) &^ 3
-	return o.Base + off, int(n)
+	return owner.cfg.Policy.Victim(m.view, m.u)
 }
 
-// copyIn moves one page of o from user space into frame f.
-func (m *Manager) copyIn(o *Object, vpage uint32, f int) error {
-	src, n := m.pageSpan(o, vpage)
-	if n == 0 {
+// lruOwner finds the session owning the globally least-recently-used
+// evictable frame, or nil if nothing is evictable.
+func (m *Manager) lruOwner() *Session {
+	best, bestUse := -1, uint64(0)
+	for i := range m.frames {
+		f := &m.frames[i]
+		if !f.Occupied || f.Pinned {
+			continue
+		}
+		use := m.u.Entry(i).LastUse
+		if best < 0 || use < bestUse {
+			best, bestUse = i, use
+		}
+	}
+	if best < 0 {
 		return nil
 	}
-	if m.cfg.BounceBuffer {
-		// The naive module staged every page through a kernel buffer:
-		// two transfers per movement (§4.1).
-		if err := m.k.BusCopy(stats.SWDP, m.bounce, src, n); err != nil {
-			return err
-		}
-		src = m.bounce
-	}
-	if err := m.k.BusCopy(stats.SWDP, m.frameAddr(f), src, n); err != nil {
-		return err
-	}
-	m.Count.PagesLoaded++
-	m.Count.BytesIn += uint64(n)
-	return nil
+	return m.sessions[m.frames[best].Sess]
 }
 
-// copyOut moves frame f back to page vpage of o in user space.
-func (m *Manager) copyOut(o *Object, vpage uint32, f int) error {
-	dst, n := m.pageSpan(o, vpage)
-	if n == 0 {
-		return nil
+// victim selects an eviction victim on behalf of session s under the
+// arbitration policy, returning the frame index and the session that owns
+// it (and whose object table must drive the write-back), or (-1, nil).
+func (m *Manager) victim(s *Session) (int, *Session) {
+	if m.single() {
+		// The paper's original path: the policy sees the raw pool.
+		return s.cfg.Policy.Victim(m.frames, m.u), s
 	}
-	src := m.frameAddr(f)
-	if m.cfg.BounceBuffer {
-		if err := m.k.BusCopy(stats.SWDP, m.bounce, src, n); err != nil {
-			return err
+	switch m.arb {
+	case GlobalLRU:
+		owner := m.lruOwner()
+		if owner == nil {
+			return -1, nil
 		}
-		src = m.bounce
+		return m.scopedVictim(owner), owner
+	default: // StaticPartition
+		return m.scopedVictim(s), s
 	}
-	if err := m.k.BusCopy(stats.SWDP, dst, src, n); err != nil {
-		return err
-	}
-	m.Count.BytesOut += uint64(n)
-	return nil
 }
 
 // installEntry programs TLB entry == frame index f (the manager's fixed
-// convention) through timed register writes.
-func (m *Manager) installEntry(f int, e imu.TLBEntry) error {
-	if err := m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegTLBIdx), uint32(f)); err != nil {
+// convention) through timed register writes against session s's bank.
+func (s *Session) installEntry(f int, e imu.TLBEntry) error {
+	e.Sess = s.id
+	if err := s.m.k.BusWrite32(stats.SWIMU, s.regAddr(imu.RegTLBIdx), uint32(f)); err != nil {
 		return err
 	}
-	if err := m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegTLBLo), packLo(e)); err != nil {
+	if err := s.m.k.BusWrite32(stats.SWIMU, s.regAddr(imu.RegTLBLo), packLo(e)); err != nil {
 		return err
 	}
-	return m.k.BusWrite32(stats.SWIMU, m.regAddr(imu.RegTLBHi), packHi(e))
+	return s.m.k.BusWrite32(stats.SWIMU, s.regAddr(imu.RegTLBHi), packHi(e))
 }
 
 // packLo/packHi mirror the IMU register encoding (the VIM is the other side
@@ -287,6 +434,7 @@ func packLo(e imu.TLBEntry) uint32 {
 	}
 	v |= uint32(e.Obj) << 1
 	v |= (e.VPage & 0x7fff) << 9
+	v |= uint32(e.Sess&0xf) << 24
 	return v
 }
 
@@ -301,4 +449,7 @@ func packHi(e imu.TLBEntry) uint32 {
 	return v
 }
 
-func (m *Manager) regAddr(off uint32) uint32 { return m.regBase + off }
+// regAddr returns the AHB address of register off in session s's bank.
+func (s *Session) regAddr(off uint32) uint32 {
+	return s.m.regBase + imu.RegBank(int(s.id)) + off
+}
