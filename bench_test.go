@@ -13,6 +13,7 @@ import (
 	"repro"
 	"repro/internal/exp"
 	"repro/internal/platform"
+	"repro/internal/rcsched"
 )
 
 // reportSim publishes a simulated-time metric.
@@ -222,6 +223,27 @@ func BenchmarkAblationPageSize(b *testing.B) {
 				}
 				reportSim(b, "sim-ms", rep.TotalPs())
 				b.ReportMetric(float64(rep.VIM.Faults), "faults")
+			}
+		})
+	}
+}
+
+// BenchmarkServe runs the dynamic-reconfiguration serving cells: the
+// 24-job SERVE stream on two shell slots under each scheduling policy. The
+// simulated makespan and total reconfiguration time are published as
+// metrics alongside the host-side cost of running the whole serving loop.
+func BenchmarkServe(b *testing.B) {
+	jobs := exp.ServeTrace()
+	for _, policy := range []string{"fcfs", "sjf", "affinity"} {
+		b.Run(policy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := rcsched.Serve(rcsched.Config{Policy: policy, Slots: 2}, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms-makespan", rep.MakespanPs)
+				reportSim(b, "sim-ms-reconfig", rep.TotalReconfigPs)
+				b.ReportMetric(float64(rep.Reconfigs), "reconfigs")
 			}
 		})
 	}

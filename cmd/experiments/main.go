@@ -1,18 +1,26 @@
 // Command experiments regenerates every figure and table of the paper's
-// evaluation (plus the repository's ablations and the sessions experiment) on the simulated
-// platform and prints them to stdout.
+// evaluation (plus the repository's ablations, the sessions experiment and
+// the SERVE scheduling experiment) on the simulated platform and prints
+// them to stdout.
+//
+// Experiments are deterministic and independent, so they are farmed out
+// across GOMAXPROCS workers by default; output is buffered and printed in
+// presentation order, so the rendered report is byte-identical to a serial
+// run.
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -run FIG8  # run one experiment by id
-//	experiments -list      # list experiment ids
+//	experiments             # run everything, in parallel
+//	experiments -parallel 1 # run everything, serially
+//	experiments -run FIG8   # run one experiment by id
+//	experiments -list       # list experiment ids
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/exp"
 )
@@ -20,6 +28,7 @@ import (
 func main() {
 	runID := flag.String("run", "", "run a single experiment by id (e.g. FIG9)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments run concurrently (1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -29,32 +38,56 @@ func main() {
 		return
 	}
 
-	run := func(e exp.Experiment) bool {
-		res, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			return false
-		}
-		fmt.Println(exp.Render(res))
-		return true
-	}
-
 	if *runID != "" {
 		e, ok := exp.ByID(*runID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
 			os.Exit(2)
 		}
-		if !run(e) {
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		fmt.Println(exp.Render(res))
 		return
 	}
+
+	// Fan the cells out: every experiment runs in its own goroutine behind
+	// a worker-count semaphore, results are delivered through per-slot
+	// channels, and the printer drains them in presentation order.
+	all := exp.All()
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	type outcome struct {
+		text string
+		err  error
+	}
+	results := make([]chan outcome, len(all))
+	sem := make(chan struct{}, *parallel)
+	for i, e := range all {
+		results[i] = make(chan outcome, 1)
+		go func(out chan<- outcome, e exp.Experiment) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := e.Run()
+			if err != nil {
+				out <- outcome{err: err}
+				return
+			}
+			out <- outcome{text: exp.Render(res)}
+		}(results[i], e)
+	}
 	failed := false
-	for _, e := range exp.All() {
-		if !run(e) {
+	for i, e := range all {
+		o := <-results[i]
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, o.err)
 			failed = true
+			continue
 		}
+		fmt.Println(o.text)
 	}
 	if failed {
 		os.Exit(1)

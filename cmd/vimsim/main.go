@@ -12,6 +12,8 @@
 //	vimsim -app idea -size 16384 -mode sw          # pure software
 //	vimsim -mode multi -board EPXA4 -split 4       # concurrent IDEA+ADPCM
 //	vimsim -mode multi -arb global-lru             # ... with frame stealing
+//	vimsim -mode serve -slots 2 -policy affinity   # serve a 24-job stream
+//	vimsim -mode serve -jobs 32 -seed 7 -bw 250000 # ... slow config port
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/ideautil"
 	"repro/internal/platform"
+	"repro/internal/rcsched"
 	"repro/internal/ref"
 	"repro/internal/trace"
 )
@@ -36,14 +39,18 @@ func main() {
 	app := flag.String("app", "idea", "application: vecadd | adpcm | idea")
 	size := flag.Int("size", 16384, "input size in bytes (vecadd: per-vector bytes)")
 	board := flag.String("board", "EPXA1", "board: EPXA1 | EPXA4 | EPXA10")
-	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random")
-	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi")
+	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random; serve mode: scheduling policy: fcfs | sjf | affinity")
+	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi | serve")
 	arb := flag.String("arb", "static", "multi mode: inter-session arbitration: static | global-lru")
 	split := flag.Int("split", 0, "multi mode: page frames for the IDEA session (0 = half the pool)")
+	slots := flag.Int("slots", 2, "serve mode: reconfigurable shell slots")
+	jobs := flag.Int("jobs", 24, "serve mode: jobs in the generated multi-user stream")
+	bw := flag.Float64("bw", 0, "serve mode: configuration-port bandwidth, bytes/s (0 = default)")
+	gap := flag.Float64("gap", 0.15, "serve mode: mean arrival gap in ms")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined IMU")
 	bounce := flag.Bool("bounce", false, "use the double-transfer (bounce buffer) page path")
 	prefetch := flag.Int("prefetch", 0, "sequential prefetch pages per fault")
-	seed := flag.Int64("seed", 1, "input data seed")
+	seed := flag.Int64("seed", 1, "input data seed; serve mode: trace seed")
 	vcdPath := flag.String("vcd", "", "write a session waveform (VCD) to this path (vim mode only)")
 	flag.Parse()
 	vcdOut = *vcdPath
@@ -55,6 +62,37 @@ func main() {
 		BounceBuffer:  *bounce,
 		PrefetchPages: *prefetch,
 		Seed:          *seed,
+	}
+
+	if *mode == "serve" {
+		pol := *policy
+		if pol == "fifo" { // the single-run flag default; serving defaults to FCFS
+			pol = "fcfs"
+		}
+		// Reject flags the serving loop would silently ignore (the trace
+		// fixes the application mix and sizes; the shell fixes static
+		// arbitration and the translation path), matching multi mode.
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*pipelined, "-pipelined"},
+			{*bounce, "-bounce"},
+			{*prefetch != 0, "-prefetch"},
+			{*app != "idea", "-app"},
+			{*size != 16384, "-size"},
+			{*arb != "static", "-arb"},
+			{*split != 0, "-split"},
+			{*vcdPath != "", "-vcd"},
+		} {
+			if f.set {
+				log.Fatalf("mode serve does not support %s (serves the generated mixed trace on a static-partition shell)", f.name)
+			}
+		}
+		if err := runServe(*board, pol, *slots, *jobs, *bw, *gap, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *mode == "multi" {
@@ -262,6 +300,46 @@ func runMulti(board, arb string, split, size int, seed int64) error {
 	for i, s := range rep.Sessions {
 		fmt.Printf("session %d   %s (policy %s): done %.3f ms, %d faults, %d evictions, %d steals, %d pages loaded\n",
 			i, s.App, s.Policy, s.DonePs/1e9, s.VIM.Faults, s.VIM.Evictions, s.VIM.Steals, s.VIM.PagesLoaded)
+	}
+	return nil
+}
+
+// runServe generates a seeded multi-user job stream and serves it through
+// the dynamic reconfiguration scheduler, printing the per-job log and the
+// aggregate report.
+func runServe(board, policy string, slots, jobs int, bw, gapMs float64, seed int64) error {
+	stream := rcsched.Trace(jobs, seed, gapMs*1e9)
+	rep, err := rcsched.Serve(rcsched.Config{
+		Board:    board,
+		Slots:    slots,
+		Policy:   policy,
+		ConfigBW: bw,
+	}, stream)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode        serve (%d jobs, seed %d, mean gap %.2f ms)\n", jobs, seed, gapMs)
+	fmt.Printf("board       %s\n", rep.Board)
+	fmt.Printf("policy      %s\n", rep.Policy)
+	fmt.Printf("slots       %d\n", rep.Slots)
+	fmt.Printf("config BW   %.0f KB/s\n", rep.ConfigBW/1000)
+	fmt.Printf("makespan    %.3f ms\n", rep.MakespanPs/1e9)
+	fmt.Printf("mean wait   %.3f ms\n", rep.MeanWaitPs/1e9)
+	fmt.Printf("mean lat.   %.3f ms\n", rep.MeanLatencyPs/1e9)
+	fmt.Printf("reconfigs   %d (%.3f ms on the config port)\n", rep.Reconfigs, rep.TotalReconfigPs/1e9)
+	fmt.Printf("utilisation %.2f mean across slots\n", rep.UtilMean)
+	fmt.Printf("sw          %.3f ms DP, %.3f ms IMU, %.3f ms OS\n",
+		rep.SWDPPs/1e9, rep.SWIMUPs/1e9, rep.SWOSPs/1e9)
+	fmt.Printf("paging      %d faults, %d pages loaded, %d flushed\n",
+		rep.VIM.Faults, rep.VIM.PagesLoaded, rep.VIM.PagesFlushed)
+	fmt.Println("jobs        (all outputs verified against the golden algorithms)")
+	for _, j := range rep.Jobs {
+		reconf := "resident"
+		if j.Reconfigured {
+			reconf = fmt.Sprintf("reconfig %.2f ms", j.ReconfigPs/1e9)
+		}
+		fmt.Printf("  #%-3d %-7s %5d B  slot %d  arrive %7.3f  wait %7.3f  exec %7.3f  done %7.3f ms  %s\n",
+			j.ID, j.App, j.Size, j.Slot, j.ArrivalPs/1e9, j.QueueWaitPs/1e9, j.ExecPs/1e9, j.DonePs/1e9, reconf)
 	}
 	return nil
 }

@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro"
@@ -171,13 +174,49 @@ func loadGoldenCells(t *testing.T) map[string]goldenCell {
 	return want
 }
 
+// runCellsParallel fans deterministic, independent experiment cells out
+// across GOMAXPROCS with the given package-default scheduler installed for
+// the whole batch (the default is process-global, so the two scheduler
+// passes run as sequential phases while the cells within a phase run
+// concurrently). Results come back indexed, keeping every later comparison
+// deterministic.
+func runCellsParallel(s sim.Scheduler, specs []goldenCellSpec) ([]*core.Report, []error) {
+	prev := sim.SetDefaultScheduler(s)
+	defer sim.SetDefaultScheduler(prev)
+	reps := make([]*core.Report, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reps[i], errs[i] = specs[i].run()
+		}(i)
+	}
+	wg.Wait()
+	return reps, errs
+}
+
+// subtestFiltered reports whether the -run flag narrows execution below
+// the named test (a '/' in the pattern), in which case precomputing every
+// cell would defeat the filter.
+func subtestFiltered() bool {
+	f := flag.Lookup("test.run")
+	return f != nil && strings.Contains(f.Value.String(), "/")
+}
+
 // TestGoldenAllCells pins every policy × board × workload cell end to end
 // and doubles as the whole-system differential harness: each cell is run
 // under the lockstep reference scheduler and the event-driven default, the
 // two reports must agree bit for bit, and both must match the committed
 // golden file (captured from the lockstep engine with -update-golden).
-// Each cell is checked inside its own subtest, so single cells can be
-// re-run with -run 'TestGoldenAllCells/<workload>/<board>/<policy>'.
+// Cells are independent, so a full run farms each scheduler pass across
+// GOMAXPROCS up front; a subtest-filtered run
+// (-run 'TestGoldenAllCells/<workload>/<board>/<policy>') skips the
+// precompute and simulates only the selected cells.
 func TestGoldenAllCells(t *testing.T) {
 	var want map[string]goldenCell
 	if !*updateGolden {
@@ -186,17 +225,34 @@ func TestGoldenAllCells(t *testing.T) {
 			t.Errorf("golden file has %d cells, expected %d", len(want), len(allGoldenCells()))
 		}
 	}
+	specs := allGoldenCells()
+	var lockReps, evntReps []*core.Report
+	var lockErrs, evntErrs []error
+	if !subtestFiltered() {
+		lockReps, lockErrs = runCellsParallel(sim.Lockstep, specs)
+		evntReps, evntErrs = runCellsParallel(sim.EventDriven, specs)
+	}
 	got := map[string]goldenCell{}
-	for _, spec := range allGoldenCells() {
-		spec := spec
+	for i, spec := range specs {
+		i, spec := i, spec
 		t.Run(spec.name(), func(t *testing.T) {
-			lockRep, err := runWith(sim.Lockstep, spec.run)
-			if err != nil {
-				t.Fatal(err)
-			}
-			evntRep, err := runWith(sim.EventDriven, spec.run)
-			if err != nil {
-				t.Fatal(err)
+			var lockRep, evntRep *core.Report
+			var err error
+			if lockReps != nil {
+				if lockErrs[i] != nil {
+					t.Fatal(lockErrs[i])
+				}
+				if evntErrs[i] != nil {
+					t.Fatal(evntErrs[i])
+				}
+				lockRep, evntRep = lockReps[i], evntReps[i]
+			} else {
+				if lockRep, err = runWith(sim.Lockstep, spec.run); err != nil {
+					t.Fatal(err)
+				}
+				if evntRep, err = runWith(sim.EventDriven, spec.run); err != nil {
+					t.Fatal(err)
+				}
 			}
 			lock, evnt := cellOf(lockRep), cellOf(evntRep)
 			if lock != evnt {

@@ -8,12 +8,14 @@ import (
 	"repro/internal/imu"
 	"repro/internal/kernel"
 	"repro/internal/platform"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vim"
 )
 
 // Member is one tenant of a Gang: a loaded coprocessor with its VIM
-// session, its process, and its scalar parameters for the next ExecuteAll.
+// session, its process, and its scalar parameters for the next ExecuteAll
+// (or, in shell mode, the next Launch).
 type Member struct {
 	Sess   *vim.Session
 	Proc   *kernel.Process
@@ -34,16 +36,40 @@ type Member struct {
 // App returns the member's coprocessor name (its bitstream identity).
 func (mb *Member) App() string { return mb.header.Core }
 
+// Done reports whether the member's coprocessor has completed and been
+// flushed.
+func (mb *Member) Done() bool { return mb.done }
+
+// DonePs is the hardware-timeline instant of the member's completion.
+func (mb *Member) DonePs() float64 { return mb.donePs }
+
+// SW returns the member's attributed slices of the software components
+// (dual-port management, IMU management, OS overhead), in picoseconds.
+func (mb *Member) SW() (dp, imu, os float64) { return mb.swDP, mb.swIMU, mb.swOS }
+
 // Gang runs several coprocessor sessions concurrently behind one Virtual
 // Interface Manager on one board — the multi-tenant shape of the sessions
 // layer. Members are added while the gang is unassembled; Assemble builds
 // the shared multi-channel hardware; ExecuteAll launches every member and
 // services their faults and completions until the last one finishes.
+//
+// A gang built with NewShellGang instead runs in shell mode: the hardware is
+// a fixed set of reconfigurable slots (platform.ShellHW) and members attach
+// and detach at runtime — AttachMember loads a coprocessor into a slot and
+// admits its session while other members keep executing, Launch starts it,
+// ServicePending services whatever faults and completions are pending, and
+// DetachMember reclaims the finished member's resources. The rcsched
+// scheduler drives this loop under a multi-user job stream.
 type Gang struct {
 	Board   *platform.Board
 	M       *vim.Manager
 	HW      *platform.MultiHW
+	Shell   *platform.ShellHW
 	Members []*Member
+
+	// bySlot is the shell-mode roster: the member currently occupying each
+	// slot (nil when the slot is free or reconfiguring).
+	bySlot []*Member
 
 	budget int64
 }
@@ -196,6 +222,43 @@ func (r *MultiReport) Report() *Report {
 	}
 }
 
+// servicePass checks every roster member once for a pending completion or
+// translation fault on its channel and services it: a completion triggers
+// the session's end-of-operation flush and the acknowledge, a fault the
+// demand-paging service. It reports whether anything was serviced and which
+// members finished this pass. The roster order is the deterministic service
+// order; nil entries (free shell slots) are skipped.
+func (g *Gang) servicePass(roster []*Member, eng *sim.Engine) (serviced bool, finished []*Member, err error) {
+	for _, mb := range roster {
+		if mb == nil || mb.done {
+			continue
+		}
+		ch := mb.Sess.ID()
+		if g.Board.IMU.DonePendingCh(ch) {
+			sw := g.swSnap()
+			if err := mb.Sess.Finish(); err != nil {
+				return false, nil, err
+			}
+			mb.addSW(g.swSnap(), sw)
+			g.Board.IMU.AckDoneCh(ch)
+			mb.done = true
+			mb.donePs = eng.NowPs()
+			finished = append(finished, mb)
+			serviced = true
+			continue
+		}
+		if g.Board.IMU.FaultPendingCh(ch) {
+			sw := g.swSnap()
+			if err := mb.Sess.HandleFault(); err != nil {
+				return false, nil, fmt.Errorf("core: session %d (%s): %w", ch, mb.header.Core, err)
+			}
+			mb.addSW(g.swSnap(), sw)
+			serviced = true
+		}
+	}
+	return serviced, finished, nil
+}
+
 // swSnap samples the three software components of the shared timeline so
 // per-member deltas can be attributed around each service call.
 func (g *Gang) swSnap() [3]float64 {
@@ -261,33 +324,11 @@ func (g *Gang) ExecuteAll() (*MultiReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBudget, err)
 		}
-		serviced := false
-		for i, mb := range g.Members {
-			if mb.done {
-				continue
-			}
-			if g.Board.IMU.DonePendingCh(i) {
-				sw := g.swSnap()
-				if err := mb.Sess.Finish(); err != nil {
-					return nil, err
-				}
-				mb.addSW(g.swSnap(), sw)
-				g.Board.IMU.AckDoneCh(i)
-				mb.done = true
-				mb.donePs = eng.NowPs()
-				remaining--
-				serviced = true
-				continue
-			}
-			if g.Board.IMU.FaultPendingCh(i) {
-				sw := g.swSnap()
-				if err := mb.Sess.HandleFault(); err != nil {
-					return nil, fmt.Errorf("core: session %d (%s): %w", i, mb.header.Core, err)
-				}
-				mb.addSW(g.swSnap(), sw)
-				serviced = true
-			}
+		serviced, finished, err := g.servicePass(g.Members, eng)
+		if err != nil {
+			return nil, err
 		}
+		remaining -= len(finished)
 		if !serviced {
 			return nil, fmt.Errorf("core: IRQ with no serviceable channel (SR0=%#x)", g.Board.IMU.SR())
 		}
@@ -344,4 +385,157 @@ func (g *Gang) ExecuteAll() (*MultiReport, error) {
 		})
 	}
 	return rep, nil
+}
+
+// --- Shell mode: dynamic attach/detach under a live engine ---------------
+
+// NewShellGang builds a gang in shell mode: an nslots-slot reconfigurable
+// shell clocked at shellHz whose members attach and detach at runtime. The
+// returned gang has no members; drive it with AttachMember / Launch /
+// ServicePending / DetachMember.
+func NewShellGang(board *platform.Board, arb vim.Arbitration, shellHz int64, nslots int) (*Gang, error) {
+	shell, err := board.AssembleShell(shellHz, nslots)
+	if err != nil {
+		return nil, err
+	}
+	m, err := vim.NewManager(board.Kern, board.IMU, platform.DPBase, platform.IMURegBase,
+		board.DP.PageSize(), arb)
+	if err != nil {
+		return nil, err
+	}
+	return &Gang{
+		Board:  board,
+		M:      m,
+		Shell:  shell,
+		bySlot: make([]*Member, nslots),
+		budget: DefaultBudget,
+	}, nil
+}
+
+// Slots returns the shell slot count (0 for a static gang).
+func (g *Gang) Slots() int { return len(g.bySlot) }
+
+// SlotMember returns the member currently occupying slot i, or nil.
+func (g *Gang) SlotMember(i int) *Member { return g.bySlot[i] }
+
+// AttachMember admits a new member into shell slot i while the rest of the
+// gang keeps executing: the bit-stream is validated against the board, the
+// coprocessor is placed into the slot — reusing the resident core when its
+// identity already matches (the zero-cost path bitstream-affinity scheduling
+// exploits; the caller models reconfiguration time otherwise, having emptied
+// the slot with BeginReconfig first) — and a fresh VIM session is attached
+// on the slot's IMU channel with an nframes home partition. The member is
+// not started; call Launch.
+func (g *Gang) AttachMember(slot int, img []byte, nframes int, cfg vim.Config) (*Member, error) {
+	if g.Shell == nil {
+		return nil, fmt.Errorf("core: AttachMember on a non-shell gang")
+	}
+	if slot < 0 || slot >= len(g.bySlot) {
+		return nil, fmt.Errorf("core: slot %d out of range [0,%d)", slot, len(g.bySlot))
+	}
+	if g.bySlot[slot] != nil {
+		return nil, fmt.Errorf("core: slot %d already occupied by %q", slot, g.bySlot[slot].App())
+	}
+	h, err := bitstream.Parse(img)
+	if err != nil {
+		return nil, err
+	}
+	sl := g.Shell.Slots[slot]
+	var cp copro.Coprocessor
+	if sl.Resident() == h.Core {
+		// Bitstream affinity: the requested core is already configured into
+		// the slot, so no configuration data moves — reset and rebind it.
+		cp = sl.Core()
+	} else {
+		_, inst, err := bitstream.Instantiate(img, g.Board.Spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		var ok bool
+		if cp, ok = inst.(copro.Coprocessor); !ok {
+			return nil, fmt.Errorf("core: bitstream %q produced a %T, not a coprocessor", h.Core, inst)
+		}
+	}
+	sess, err := g.M.Attach(cfg, nframes, slot)
+	if err != nil {
+		return nil, err
+	}
+	g.Shell.LoadSlot(g.Board, slot, cp)
+	mb := &Member{
+		Sess:   sess,
+		Proc:   g.Board.Kern.NewProcess(h.Core),
+		header: h,
+		core:   cp,
+		coreHz: g.Shell.Dom.FreqHz(),
+		imuHz:  g.Shell.Dom.FreqHz(),
+	}
+	g.bySlot[slot] = mb
+	g.Members = append(g.Members, mb)
+	return mb, nil
+}
+
+// BeginReconfig empties slot i for partial reconfiguration: the resident
+// core is dropped and the IMU channel unbound while every other channel
+// keeps translating. The caller models the configuration-port time (derived
+// from the incoming bit-stream's size) before calling AttachMember.
+func (g *Gang) BeginReconfig(slot int) error {
+	if g.Shell == nil {
+		return fmt.Errorf("core: BeginReconfig on a non-shell gang")
+	}
+	if g.bySlot[slot] != nil {
+		return fmt.Errorf("core: reconfiguring slot %d still occupied by %q", slot, g.bySlot[slot].App())
+	}
+	g.Shell.UnloadSlot(g.Board, slot)
+	return nil
+}
+
+// Launch implements the FPGA_EXECUTE entry for one shell-mode member:
+// syscall charge, parameter page and initial mapping on its session, and
+// CP_START on its channel. The engine is not run; the serving loop resumes
+// it.
+func (g *Gang) Launch(mb *Member) error {
+	g.Board.Kern.ChargeSyscall()
+	before := g.swSnap()
+	if err := mb.Sess.PrepareExecute(mb.Params); err != nil {
+		return err
+	}
+	mb.addSW(g.swSnap(), before)
+	mb.done = false
+	mb.donePs = 0
+	g.Board.IMU.StartCh(mb.Sess.ID())
+	return nil
+}
+
+// ServicePending runs one service pass over the occupied slots, handling
+// every pending completion and translation fault, and returns the members
+// that finished. serviced is false when the pass found nothing to do (an
+// IRQ that was already consumed).
+func (g *Gang) ServicePending() (finished []*Member, serviced bool, err error) {
+	serviced, finished, err = g.servicePass(g.bySlot, g.Shell.Eng)
+	return finished, serviced, err
+}
+
+// DetachMember reclaims a finished member's session — frames, translation
+// entries and session slot — and frees its shell slot. The resident core
+// stays configured in the slot so a later member running the same
+// application can attach without reconfiguration.
+func (g *Gang) DetachMember(mb *Member) error {
+	if g.Shell == nil {
+		return fmt.Errorf("core: DetachMember on a non-shell gang")
+	}
+	slot := mb.Sess.ID()
+	if g.bySlot[slot] != mb {
+		return fmt.Errorf("core: member %q not current in slot %d", mb.App(), slot)
+	}
+	if err := g.M.Detach(mb.Sess); err != nil {
+		return err
+	}
+	g.bySlot[slot] = nil
+	for i, m := range g.Members {
+		if m == mb {
+			g.Members = append(g.Members[:i], g.Members[i+1:]...)
+			break
+		}
+	}
+	return nil
 }

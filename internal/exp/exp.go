@@ -53,6 +53,7 @@ func All() []Experiment {
 		{ID: "PAGESIZE", Title: "Ablation: dual-port RAM page size (§3.3)", Run: RunPageSizeAblation},
 		{ID: "CHUNK", Title: "Ablation: hand-chunked baseline vs VIM (Figure 3)", Run: RunChunkAblation},
 		{ID: "SESSIONS", Title: "Multi-coprocessor sessions behind one VIM (partition split sweep)", Run: RunSessions},
+		{ID: "SERVE", Title: "Dynamic reconfiguration scheduler: multi-user job serving (policy x slots x config bandwidth)", Run: RunServe},
 	}
 }
 

@@ -202,7 +202,7 @@ func TestFig3Shape(t *testing.T) {
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"FIG3", "FIG7", "FIG8", "FIG9", "OVERHEAD", "PORT",
 		"POLICY", "BOUNCE", "PIPELINE", "PREFETCH", "PAGESIZE", "CHUNK",
-		"SESSIONS"}
+		"SESSIONS", "SERVE"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/amba"
+	"repro/internal/copro"
 )
 
 // Register-window word offsets (the IMU's AHB slave interface, Figure 4's
@@ -128,6 +129,27 @@ func (u *IMU) AckDoneCh(i int) { u.ch[i].ctl |= ctlAckDone }
 
 // ChCounters returns channel i's activity counters.
 func (u *IMU) ChCounters(i int) Counters { return u.ch[i].Count }
+
+// UnbindCh returns channel i to its quiescent power-on state behind a fresh
+// idle port, keeping only the session tag and the accumulated counters. It
+// is the hardware half of unloading a slot for partial reconfiguration: the
+// other channels keep translating, and the shared interrupt line is
+// recomputed so a request the detached channel had pending cannot linger.
+// Like every OS-side accessor it must only be called while the engine is
+// paused; rebind with BindCh once a new coprocessor occupies the slot.
+func (u *IMU) UnbindCh(i int) {
+	c := &u.ch[i]
+	*c = channel{sess: c.sess, Count: c.Count}
+	u.BindCh(i, copro.NewPort())
+	irq := false
+	for j := range u.ch {
+		if u.ch[j].irq {
+			irq = true
+			break
+		}
+	}
+	u.irq = irq
+}
 
 // InjectFault forces channel i into the faulted state with the given cause
 // (testbench support: unit tests of the fault-service path poke the fault

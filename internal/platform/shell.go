@@ -1,0 +1,149 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/copro"
+	"repro/internal/sim"
+)
+
+// Slot is one partially-reconfigurable region of a multi-coprocessor shell:
+// a fixed ticker attached to the shell clock whose resident coprocessor
+// model can be swapped while the engine is paused (the FOS-style "shell and
+// role" split — the shell's wiring to the IMU channel is static, the role
+// inside it is loaded and unloaded at runtime). An empty slot is idle
+// forever; a loaded slot delegates edges, and the bounded-idleness contract,
+// to its resident core, so the engine's bulk-skip machinery keeps working
+// across reconfigurations.
+type Slot struct {
+	port *copro.Port
+	core copro.Coprocessor
+	bulk sim.BulkIdler // resident core's bulk-idle view, nil if not offered
+}
+
+// Resident returns the loaded coprocessor's name, or "" while the slot is
+// empty (reconfiguring).
+func (s *Slot) Resident() string {
+	if s.core == nil {
+		return ""
+	}
+	return s.core.Name()
+}
+
+// Core returns the resident coprocessor model (nil while empty).
+func (s *Slot) Core() copro.Coprocessor { return s.core }
+
+// Port returns the CP_* bundle wired between the resident core and the IMU
+// channel (nil while the slot is empty).
+func (s *Slot) Port() *copro.Port { return s.port }
+
+// Load configures the slot with a coprocessor over the given port (the
+// caller binds the same port to the IMU channel) and resets the core to its
+// power-on state. Engine must be paused.
+func (s *Slot) Load(core copro.Coprocessor, port *copro.Port) {
+	s.core = core
+	s.port = port
+	s.bulk, _ = core.(sim.BulkIdler)
+	core.Bind(port)
+	core.ResetCore()
+}
+
+// Unload empties the slot (partial reconfiguration begins). Engine must be
+// paused; unbind the IMU channel as well so the stale port is dropped on
+// both sides.
+func (s *Slot) Unload() {
+	s.core = nil
+	s.port = nil
+	s.bulk = nil
+}
+
+// Eval implements sim.Ticker by delegating to the resident core.
+func (s *Slot) Eval() {
+	if s.core != nil {
+		s.core.Eval()
+	}
+}
+
+// Update implements sim.Ticker.
+func (s *Slot) Update() {
+	if s.core != nil {
+		s.core.Update()
+	}
+}
+
+// IdleEdges implements sim.BulkIdler: an empty slot is idle until input
+// (which only a Load can produce), a loaded slot answers with its core's
+// bounded idleness, and a core that offers no idleness contract pins the
+// slot busy.
+func (s *Slot) IdleEdges() int64 {
+	if s.core == nil {
+		return sim.IdleForever
+	}
+	if s.bulk == nil {
+		return 0
+	}
+	return s.bulk.IdleEdges()
+}
+
+// SkipEdges implements sim.BulkIdler.
+func (s *Slot) SkipEdges(k int64) {
+	if s.bulk != nil {
+		s.bulk.SkipEdges(k)
+	}
+}
+
+// ShellHW is the dynamically-reconfigurable hardware assembly: one engine
+// and one shell clock domain carrying the board's IMU plus a fixed set of
+// slots whose resident coprocessors come and go at runtime. Every tenant —
+// and the IMU — runs at the shell clock, the "recompiled against the shell's
+// clock plan" regime of the sessions layer, so a slot can host any
+// registered core without re-planning the engine.
+type ShellHW struct {
+	Eng   *sim.Engine
+	Dom   *sim.Domain
+	Slots []*Slot
+}
+
+// AssembleShell builds an nslots-slot shell clocked at shellHz: the IMU is
+// reconfigured to one channel per slot, and channel i serves whatever core
+// is currently loaded into Slots[i]. Slots attach before the IMU, matching
+// AssembleMulti's deterministic order.
+func (b *Board) AssembleShell(shellHz int64, nslots int) (*ShellHW, error) {
+	if nslots <= 0 {
+		return nil, fmt.Errorf("platform: shell needs at least one slot")
+	}
+	if shellHz <= 0 {
+		return nil, fmt.Errorf("platform: non-positive shell clock %d", shellHz)
+	}
+	if err := b.IMU.SetChannels(nslots); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	dom := eng.NewDomain("shell", shellHz)
+	hw := &ShellHW{Eng: eng, Dom: dom}
+	for i := 0; i < nslots; i++ {
+		sl := &Slot{}
+		dom.Attach(sl)
+		hw.Slots = append(hw.Slots, sl)
+	}
+	dom.Attach(b.IMU)
+	if err := eng.Validate(); err != nil {
+		return nil, err
+	}
+	return hw, nil
+}
+
+// LoadSlot loads core into slot i over a fresh port and binds the IMU
+// channel to it. Engine must be paused.
+func (hw *ShellHW) LoadSlot(b *Board, i int, core copro.Coprocessor) {
+	port := copro.NewPort()
+	hw.Slots[i].Load(core, port)
+	b.IMU.BindCh(i, port)
+}
+
+// UnloadSlot empties slot i and unbinds its IMU channel (partial
+// reconfiguration begins; the other slots keep running).
+func (hw *ShellHW) UnloadSlot(b *Board, i int) {
+	hw.Slots[i].Unload()
+	b.IMU.UnbindCh(i)
+}

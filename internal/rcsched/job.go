@@ -1,0 +1,188 @@
+package rcsched
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro"
+	"repro/internal/bitstream"
+	"repro/internal/kernel"
+	"repro/internal/vim"
+)
+
+// Job is one unit of the multi-user stream: a user asking for application
+// App over Size bytes of fresh input, arriving at ArrivalPs on the serving
+// clock. Seed drives the job's input data, so a trace replays bit-for-bit.
+type Job struct {
+	ID        int
+	App       string // "idea" | "adpcm" | "vecadd"
+	Size      int    // input bytes (whole IDEA blocks enforced by Trace)
+	ArrivalPs float64
+	Seed      int64
+
+	coreName string // bitstream identity, resolved at admission
+}
+
+// Trace generates a deterministic n-job stream: arrival gaps are uniform in
+// (0, 2·meanGapPs), applications and input sizes are drawn from the bundled
+// mix (IDEA / ADPCM / vecadd over 1–4 KB), and every job carries its own
+// data seed. The same (n, seed, meanGapPs) triple always yields the same
+// stream.
+func Trace(n int, seed int64, meanGapPs float64) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	apps := []string{"idea", "adpcm", "vecadd"}
+	sizes := []int{1024, 2048, 4096}
+	jobs := make([]Job, n)
+	arrival := 0.0
+	for i := range jobs {
+		arrival += rng.Float64() * 2 * meanGapPs
+		jobs[i] = Job{
+			ID:        i,
+			App:       apps[rng.Intn(len(apps))],
+			Size:      sizes[rng.Intn(len(sizes))] &^ 7,
+			ArrivalPs: arrival,
+			Seed:      rng.Int63(),
+		}
+	}
+	return jobs
+}
+
+// objSpec is one FPGA_MAP_OBJECT call a job needs.
+type objSpec struct {
+	id         uint8
+	base, size uint32
+	dir        vim.Direction
+}
+
+// prepared is a job's materialised process image: user buffers holding the
+// input, the object mappings and launch parameters, and the expected output
+// from the golden algorithm for end-of-job verification.
+type prepared struct {
+	objs    []objSpec
+	params  []uint32
+	outAddr uint32
+	want    []byte
+}
+
+// appSpec binds an application name to its bitstream and workload builder.
+type appSpec struct {
+	coreName string
+	img      []byte
+	prepare  func(k *kernel.Kernel, size int, rng *rand.Rand) (*prepared, error)
+}
+
+// appTable resolves the bundled applications for a board.
+func appTable(board string) (map[string]*appSpec, error) {
+	table := map[string]*appSpec{
+		"idea":   {img: repro.IDEABitstream(board), prepare: prepIDEA},
+		"adpcm":  {img: repro.ADPCMBitstream(board), prepare: prepADPCM},
+		"vecadd": {img: repro.VecAddBitstream(board), prepare: prepVecAdd},
+	}
+	for name, a := range table {
+		h, err := bitstream.Parse(a.img)
+		if err != nil {
+			return nil, fmt.Errorf("rcsched: %s bitstream: %w", name, err)
+		}
+		a.coreName = h.Core
+	}
+	return table, nil
+}
+
+func prepIDEA(k *kernel.Kernel, size int, rng *rand.Rand) (*prepared, error) {
+	var key repro.IDEAKey
+	rng.Read(key[:])
+	plain := make([]byte, size)
+	rng.Read(plain)
+	in, err := k.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	out, err := k.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.WriteUser(in, plain); err != nil {
+		return nil, err
+	}
+	return &prepared{
+		objs: []objSpec{
+			{repro.IDEAObjIn, in, uint32(size), vim.In},
+			{repro.IDEAObjOut, out, uint32(size), vim.Out},
+		},
+		params:  repro.IDEAEncryptParams(key, size/8),
+		outAddr: out,
+		want:    repro.GoldenIDEAEncrypt(key, plain),
+	}, nil
+}
+
+func prepADPCM(k *kernel.Kernel, size int, rng *rand.Rand) (*prepared, error) {
+	packed := make([]byte, size)
+	rng.Read(packed)
+	in, err := k.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	out, err := k.Alloc(size * 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.WriteUser(in, packed); err != nil {
+		return nil, err
+	}
+	samples := repro.GoldenADPCMDecode(packed)
+	want := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		binary.LittleEndian.PutUint16(want[2*i:], uint16(s))
+	}
+	return &prepared{
+		objs: []objSpec{
+			{repro.ADPCMObjIn, in, uint32(size), vim.In},
+			{repro.ADPCMObjOut, out, uint32(size * 4), vim.Out},
+		},
+		params:  []uint32{uint32(size)},
+		outAddr: out,
+		want:    want,
+	}, nil
+}
+
+func prepVecAdd(k *kernel.Kernel, size int, rng *rand.Rand) (*prepared, error) {
+	n := size / 4
+	av := make([]byte, size)
+	bv := make([]byte, size)
+	rng.Read(av)
+	rng.Read(bv)
+	a, err := k.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	b, err := k.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	c, err := k.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.WriteUser(a, av); err != nil {
+		return nil, err
+	}
+	if err := k.WriteUser(b, bv); err != nil {
+		return nil, err
+	}
+	want := make([]byte, size)
+	for i := 0; i < n; i++ {
+		s := binary.LittleEndian.Uint32(av[4*i:]) + binary.LittleEndian.Uint32(bv[4*i:])
+		binary.LittleEndian.PutUint32(want[4*i:], s)
+	}
+	return &prepared{
+		objs: []objSpec{
+			{repro.VecAddObjA, a, uint32(size), vim.In},
+			{repro.VecAddObjB, b, uint32(size), vim.In},
+			{repro.VecAddObjC, c, uint32(size), vim.Out},
+		},
+		params:  []uint32{uint32(n)},
+		outAddr: c,
+		want:    want,
+	}, nil
+}

@@ -1,0 +1,126 @@
+package rcsched
+
+// SlotState is the scheduler-visible state of one shell slot when a
+// dispatch decision is made.
+type SlotState struct {
+	Free     bool   // no member attached and no reconfiguration in flight
+	Resident string // core currently configured into the slot ("" if empty)
+}
+
+// Policy picks which queued job to dispatch next and onto which free slot.
+// Pick sees the admission queue in arrival order (ties broken by job ID at
+// trace generation) and every slot's state; it must return a queue index
+// and a free slot index, or ok == false to leave the queue waiting. All
+// bundled policies are work-conserving: they always dispatch when a job and
+// a free slot exist.
+type Policy interface {
+	Name() string
+	Pick(queue []*Job, slots []SlotState) (jobIdx, slot int, ok bool)
+}
+
+// NewPolicy resolves a scheduling policy by name ("fcfs", "sjf",
+// "affinity").
+func NewPolicy(name string) (Policy, bool) {
+	switch name {
+	case "", "fcfs":
+		return FCFS{}, true
+	case "sjf":
+		return SJF{}, true
+	case "affinity", "bitstream-affinity":
+		return Affinity{}, true
+	}
+	return nil, false
+}
+
+// lowestFree returns the lowest-indexed free slot, or -1.
+func lowestFree(slots []SlotState) int {
+	for i, s := range slots {
+		if s.Free {
+			return i
+		}
+	}
+	return -1
+}
+
+// FCFS dispatches jobs strictly in arrival order onto the lowest-indexed
+// free slot, oblivious to what is resident there — the baseline every
+// reconfiguration-aware policy is measured against.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Policy.
+func (FCFS) Pick(queue []*Job, slots []SlotState) (int, int, bool) {
+	if len(queue) == 0 {
+		return 0, 0, false
+	}
+	slot := lowestFree(slots)
+	if slot < 0 {
+		return 0, 0, false
+	}
+	return 0, slot, true
+}
+
+// SJF (shortest job first) dispatches the queued job with the smallest
+// input size — the scheduler's work estimate — onto the lowest-indexed free
+// slot. Ties keep arrival order.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "sjf" }
+
+// Pick implements Policy.
+func (SJF) Pick(queue []*Job, slots []SlotState) (int, int, bool) {
+	if len(queue) == 0 {
+		return 0, 0, false
+	}
+	slot := lowestFree(slots)
+	if slot < 0 {
+		return 0, 0, false
+	}
+	best := 0
+	for i, j := range queue[1:] {
+		if j.Size < queue[best].Size {
+			best = i + 1
+		}
+	}
+	return best, slot, true
+}
+
+// Affinity is the bitstream-affinity policy: it avoids partial
+// reconfiguration by preferring (job, slot) pairs whose application is
+// already resident in the slot. Jobs are scanned in arrival order and the
+// first one whose bitstream matches a free slot dispatches there without
+// any configuration-port traffic; when nothing matches, it falls back to
+// FCFS order, preferring a still-empty slot (which must be configured
+// either way) over evicting a resident core.
+type Affinity struct{}
+
+// Name implements Policy.
+func (Affinity) Name() string { return "affinity" }
+
+// Pick implements Policy.
+func (Affinity) Pick(queue []*Job, slots []SlotState) (int, int, bool) {
+	if len(queue) == 0 {
+		return 0, 0, false
+	}
+	for i, j := range queue {
+		for s, st := range slots {
+			if st.Free && st.Resident != "" && st.Resident == j.coreName {
+				return i, s, true
+			}
+		}
+	}
+	// No affinity match: FCFS, but burn an empty slot before a resident one.
+	for s, st := range slots {
+		if st.Free && st.Resident == "" {
+			return 0, s, true
+		}
+	}
+	slot := lowestFree(slots)
+	if slot < 0 {
+		return 0, 0, false
+	}
+	return 0, slot, true
+}

@@ -1,0 +1,483 @@
+// Package rcsched is the dynamic reconfiguration scheduler: the OS-level
+// layer that turns the simulated board into a job-serving system, in the
+// spirit of FOS and SYNERGY. It owns a fixed set of shell slots with a
+// modelled partial-reconfiguration latency (derived from each coprocessor's
+// bitstream size and a configurable configuration-port bandwidth), an
+// admission queue of timestamped multi-user jobs, and pluggable scheduling
+// policies (FCFS, shortest-job-first, and bitstream-affinity, which avoids
+// reconfiguration by reusing resident coprocessors).
+//
+// Serve drives the live core.Gang shell loop: sessions attach as jobs
+// dispatch, coprocessors load and unload while their neighbours keep
+// translating, faults and completions are serviced per channel, and every
+// finished job's output is verified against the golden algorithm before its
+// session detaches. Idle stretches between arrivals are bulk-skipped by the
+// simulation kernel through a bounded-idle alarm ticker, so serving a
+// sparse stream costs barely more host time than serving a dense one.
+package rcsched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/imu"
+	"repro/internal/kernel"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vim"
+)
+
+// DefaultShellHz is the shell clock plan every tenant is recompiled
+// against, matching the sessions layer's shared-shell regime.
+const DefaultShellHz = 24_000_000
+
+// DefaultConfigBW is the configuration-port bandwidth in bytes per second
+// used to turn a bitstream's size into partial-reconfiguration time.
+const DefaultConfigBW = 1_000_000
+
+// Config parameterises one serving run.
+type Config struct {
+	// Board is "EPXA1", "EPXA4" (default) or "EPXA10".
+	Board string
+	// Slots is the number of shell slots (default 2).
+	Slots int
+	// ShellHz is the shared shell clock (default DefaultShellHz).
+	ShellHz int64
+	// Policy is the scheduling policy: "fcfs" (default), "sjf" or
+	// "affinity".
+	Policy string
+	// ConfigBW is the configuration-port bandwidth in bytes/second
+	// (default DefaultConfigBW); a slot reconfiguration takes
+	// len(bitstream)/ConfigBW seconds.
+	ConfigBW float64
+	// FramesPerSlot sizes each session's home partition (0 = page pool
+	// divided evenly across slots).
+	FramesPerSlot int
+	// Budget bounds the whole run in simulation super-edges (0 = the
+	// core.DefaultBudget).
+	Budget int64
+}
+
+// JobReport is the measured outcome of one served job.
+type JobReport struct {
+	ID   int
+	App  string
+	Size int
+	Slot int
+
+	ArrivalPs   float64
+	QueueWaitPs float64 // arrival -> dispatch decision
+	ReconfigPs  float64 // configuration-port time paid before launch
+	ExecPs      float64 // launch -> completion (fault service included)
+	LatencyPs   float64 // arrival -> completion
+	DonePs      float64
+
+	Reconfigured bool
+	Faults       uint64 // the job session's translation faults
+}
+
+// Report aggregates one serving run.
+type Report struct {
+	Board    string
+	Policy   string
+	Slots    int
+	ConfigBW float64
+
+	Jobs []JobReport
+
+	// MakespanPs is the hardware-timeline instant of the last completion.
+	MakespanPs      float64
+	TotalReconfigPs float64
+	Reconfigs       int
+	MeanWaitPs      float64
+	MeanLatencyPs   float64
+
+	// SlotBusyPs is each slot's occupied time (reconfiguration + execution);
+	// UtilMean is the mean busy fraction of the makespan across slots.
+	SlotBusyPs []float64
+	UtilMean   float64
+
+	// The software components of the shared timeline, in picoseconds.
+	SWDPPs  float64
+	SWIMUPs float64
+	SWOSPs  float64
+
+	VIM vim.Counters // aggregate across all job sessions
+	IMU imu.Counters // aggregate across all channels
+}
+
+// alarm is a bounded-idle ticker on the shell clock: it never does anything
+// at an edge, but while armed it advertises exactly the edges remaining
+// until its deadline as inert, so the engine's bulk-skip can jump an
+// otherwise idle board straight to the next job arrival or reconfiguration
+// completion instead of delivering millions of no-op edges.
+type alarm struct {
+	dom *sim.Domain
+	at  int64 // absolute shell-domain cycle of the deadline; -1 disarmed
+}
+
+func (a *alarm) Eval()   {}
+func (a *alarm) Update() {}
+
+// IdleEdges implements sim.BulkIdler: unbounded while disarmed, and while
+// armed every edge strictly before the deadline. Claiming one edge fewer
+// than remain matters: the engine delivers a normal edge at the wake
+// horizon after consuming the claimed window, so advertising remain-1
+// leaves that delivered edge landing exactly on the deadline — the same
+// cycle at which the lockstep scheduler's run predicate stops — keeping the
+// two schedulers bit-identical. Once the deadline is reached the alarm
+// reads busy and the serving loop's predicate takes over.
+func (a *alarm) IdleEdges() int64 {
+	if a.at < 0 {
+		return sim.IdleForever
+	}
+	rem := a.at - a.dom.Cycles() - 1
+	if rem <= 0 {
+		return 0
+	}
+	return rem
+}
+
+// SkipEdges implements sim.BulkIdler; skipped edges carry no alarm state.
+func (a *alarm) SkipEdges(int64) {}
+
+func (a *alarm) fired() bool { return a.at >= 0 && a.dom.Cycles() >= a.at }
+
+// slotRun is the scheduler's runtime state for one shell slot.
+type slotRun struct {
+	mb            *core.Member
+	job           int   // dispatched job index (valid while mb != nil or reconfiguring)
+	reconfigUntil int64 // shell cycle at which reconfiguration completes; -1 idle
+	dispatchPs    float64
+	startPs       float64
+	reconfigPs    float64
+}
+
+// Serve runs the job stream to completion under cfg and returns the
+// measured report. Jobs may be given in any order; they are served by
+// arrival time. Every job's output is verified against the golden
+// algorithm before its session is detached — the scheduler must not trade
+// correctness for utilisation.
+func Serve(cfg Config, jobs []Job) (*Report, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("rcsched: empty job stream")
+	}
+	if cfg.Board == "" {
+		cfg.Board = "EPXA4"
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 2
+	}
+	if cfg.Slots < 0 {
+		return nil, fmt.Errorf("rcsched: %d slots", cfg.Slots)
+	}
+	if cfg.ShellHz == 0 {
+		cfg.ShellHz = DefaultShellHz
+	}
+	if cfg.ConfigBW == 0 {
+		cfg.ConfigBW = DefaultConfigBW
+	}
+	if cfg.ConfigBW < 0 {
+		return nil, fmt.Errorf("rcsched: negative config-port bandwidth %g", cfg.ConfigBW)
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = core.DefaultBudget
+	}
+	policy, ok := NewPolicy(cfg.Policy)
+	if !ok {
+		return nil, fmt.Errorf("rcsched: unknown policy %q", cfg.Policy)
+	}
+	spec, ok := platform.SpecByName(cfg.Board)
+	if !ok {
+		return nil, fmt.Errorf("rcsched: unknown board %q", cfg.Board)
+	}
+	board, err := platform.NewBoard(spec)
+	if err != nil {
+		return nil, err
+	}
+	pool := board.DP.Pages()
+	frames := cfg.FramesPerSlot
+	if frames == 0 {
+		frames = pool / cfg.Slots
+	}
+	if frames < 2 || frames*cfg.Slots > pool {
+		return nil, fmt.Errorf("rcsched: %d slots x %d frames does not fit the %d-frame pool",
+			cfg.Slots, frames, pool)
+	}
+	apps, err := appTable(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	g, err := core.NewShellGang(board, vim.StaticPartition, cfg.ShellHz, cfg.Slots)
+	if err != nil {
+		return nil, err
+	}
+	dom := g.Shell.Dom
+	eng := g.Shell.Eng
+	al := &alarm{dom: dom, at: -1}
+	dom.Attach(al)
+
+	// Admission order: by arrival, ties by ID.
+	order := append([]Job(nil), jobs...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].ArrivalPs != order[j].ArrivalPs {
+			return order[i].ArrivalPs < order[j].ArrivalPs
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	// Materialise every job's process image up front (untimed, like the
+	// single-run experiments: the data already exists in user space).
+	preps := make([]*prepared, len(order))
+	for i := range order {
+		a, ok := apps[order[i].App]
+		if !ok {
+			return nil, fmt.Errorf("rcsched: job %d: unknown application %q", order[i].ID, order[i].App)
+		}
+		order[i].coreName = a.coreName
+		p, err := a.prepare(board.Kern, order[i].Size, rand.New(rand.NewSource(order[i].Seed)))
+		if err != nil {
+			return nil, fmt.Errorf("rcsched: job %d: %w", order[i].ID, err)
+		}
+		preps[i] = p
+	}
+
+	periodPs := dom.PeriodPs()
+	cycleOf := func(ps float64) int64 { return int64(math.Ceil(ps / periodPs)) }
+	reconfigEdges := func(img []byte) int64 {
+		return int64(math.Ceil(float64(len(img)) / cfg.ConfigBW * 1e12 / periodPs))
+	}
+
+	rep := &Report{
+		Board:      spec.Name,
+		Policy:     policy.Name(),
+		Slots:      cfg.Slots,
+		ConfigBW:   cfg.ConfigBW,
+		Jobs:       make([]JobReport, len(order)),
+		SlotBusyPs: make([]float64, cfg.Slots),
+	}
+	board.Kern.TL.Reset()
+	board.IMU.ResetCounters()
+
+	slots := make([]slotRun, cfg.Slots)
+	for i := range slots {
+		slots[i].reconfigUntil = -1
+	}
+	queue := []int{} // indices into order, admission order
+	nextArrival := 0
+	completed := 0
+	budget := cfg.Budget
+	irq := board.IMU.IRQRef()
+
+	// launch attaches job j's session onto slot s and starts it.
+	launch := func(s, j int) error {
+		a := apps[order[j].App]
+		mb, err := g.AttachMember(s, a.img, frames, vim.Config{})
+		if err != nil {
+			return fmt.Errorf("rcsched: job %d attach: %w", order[j].ID, err)
+		}
+		for _, o := range preps[j].objs {
+			if err := mb.Sess.MapObject(o.id, o.base, o.size, o.dir); err != nil {
+				return fmt.Errorf("rcsched: job %d map: %w", order[j].ID, err)
+			}
+		}
+		mb.Params = preps[j].params
+		if err := g.Launch(mb); err != nil {
+			return fmt.Errorf("rcsched: job %d launch: %w", order[j].ID, err)
+		}
+		slots[s].mb = mb
+		slots[s].job = j
+		slots[s].startPs = eng.NowPs()
+		return nil
+	}
+
+	for completed < len(order) {
+		now := dom.Cycles()
+
+		// Admit every job whose arrival instant has passed.
+		for nextArrival < len(order) && cycleOf(order[nextArrival].ArrivalPs) <= now {
+			queue = append(queue, nextArrival)
+			nextArrival++
+		}
+
+		// Complete due reconfigurations: the slot's new coprocessor is
+		// configured, attach and start the waiting job.
+		for s := range slots {
+			if slots[s].reconfigUntil >= 0 && slots[s].reconfigUntil <= now {
+				slots[s].reconfigUntil = -1
+				if err := launch(s, slots[s].job); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Service pending hardware events before dispatching: a completion
+		// frees a slot this same instant.
+		if *irq {
+			finished, serviced, err := g.ServicePending()
+			if err != nil {
+				return nil, err
+			}
+			if !serviced {
+				return nil, fmt.Errorf("rcsched: IRQ with no serviceable channel (SR0=%#x)", board.IMU.SR())
+			}
+			// Let restarts and acknowledges propagate (requests are consumed
+			// at the next edge), mirroring the gang loop.
+			eng.Step()
+			eng.Step()
+			budget -= 2
+			for _, mb := range finished {
+				s := mb.Sess.ID()
+				j := slots[s].job
+				if err := finishJob(rep, board.Kern, &order[j], preps[j], &slots[s], mb, j); err != nil {
+					return nil, err
+				}
+				if err := g.DetachMember(mb); err != nil {
+					return nil, err
+				}
+				slots[s].mb = nil
+				completed++
+				// Drain the slot's completion handshake (CP_FIN falls once
+				// the core observes CP_START low) so a follow-on job cannot
+				// see a stale completion.
+				port := g.Shell.Slots[s].Port()
+				n, err := eng.RunUntil(func() bool { return !port.CP().Fin }, 256)
+				if err != nil {
+					return nil, fmt.Errorf("rcsched: slot %d completion handshake did not drain: %v", s, err)
+				}
+				budget -= n
+			}
+			continue
+		}
+
+		// Dispatch: keep pairing queued jobs with free slots until the
+		// policy declines.
+		for len(queue) > 0 {
+			states := make([]SlotState, cfg.Slots)
+			for s := range slots {
+				states[s] = SlotState{
+					Free:     slots[s].mb == nil && slots[s].reconfigUntil < 0,
+					Resident: g.Shell.Slots[s].Resident(),
+				}
+			}
+			qjobs := make([]*Job, len(queue))
+			for i, j := range queue {
+				qjobs[i] = &order[j]
+			}
+			qi, s, ok := policy.Pick(qjobs, states)
+			if !ok {
+				break
+			}
+			j := queue[qi]
+			queue = append(queue[:qi], queue[qi+1:]...)
+			slots[s].job = j
+			slots[s].dispatchPs = eng.NowPs()
+			if g.Shell.Slots[s].Resident() == order[j].coreName {
+				slots[s].reconfigPs = 0
+				if err := launch(s, j); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Partial reconfiguration: empty the slot (the IMU channel
+			// unbinds; neighbours keep translating) and model the
+			// configuration-port time from the bitstream size.
+			if err := g.BeginReconfig(s); err != nil {
+				return nil, err
+			}
+			edges := reconfigEdges(apps[order[j].App].img)
+			slots[s].reconfigUntil = now + edges
+			slots[s].reconfigPs = float64(edges) * periodPs
+			rep.Reconfigs++
+			rep.TotalReconfigPs += slots[s].reconfigPs
+		}
+
+		// Arm the alarm for the earliest timed event: the next arrival or
+		// the next reconfiguration completion.
+		deadline := int64(-1)
+		if nextArrival < len(order) {
+			deadline = cycleOf(order[nextArrival].ArrivalPs)
+		}
+		running := false
+		for s := range slots {
+			if slots[s].reconfigUntil >= 0 && (deadline < 0 || slots[s].reconfigUntil < deadline) {
+				deadline = slots[s].reconfigUntil
+			}
+			if slots[s].mb != nil {
+				running = true
+			}
+		}
+		if deadline < 0 && !running {
+			return nil, fmt.Errorf("rcsched: stalled with %d of %d jobs served", completed, len(order))
+		}
+		al.at = deadline
+
+		n, err := eng.RunUntil(func() bool { return *irq || al.fired() }, budget)
+		budget -= n
+		if err != nil {
+			return nil, fmt.Errorf("rcsched: %v (budget exhausted serving job stream)", err)
+		}
+	}
+
+	rep.VIM = g.M.Count
+	rep.IMU = board.IMU.Count
+	rep.SWDPPs = board.Kern.TL.Ps(stats.SWDP)
+	rep.SWIMUPs = board.Kern.TL.Ps(stats.SWIMU)
+	rep.SWOSPs = board.Kern.TL.Ps(stats.SWOS)
+	wait, lat := 0.0, 0.0
+	for i := range rep.Jobs {
+		wait += rep.Jobs[i].QueueWaitPs
+		lat += rep.Jobs[i].LatencyPs
+		if rep.Jobs[i].DonePs > rep.MakespanPs {
+			rep.MakespanPs = rep.Jobs[i].DonePs
+		}
+	}
+	rep.MeanWaitPs = wait / float64(len(rep.Jobs))
+	rep.MeanLatencyPs = lat / float64(len(rep.Jobs))
+	if rep.MakespanPs > 0 {
+		util := 0.0
+		for _, b := range rep.SlotBusyPs {
+			util += b / rep.MakespanPs
+		}
+		rep.UtilMean = util / float64(cfg.Slots)
+	}
+	return rep, nil
+}
+
+// finishJob verifies a completed job's output against the golden algorithm
+// and records its metrics.
+func finishJob(rep *Report, k *kernel.Kernel, job *Job, p *prepared, sr *slotRun, mb *core.Member, idx int) error {
+	got, err := k.ReadUser(p.outAddr, len(p.want))
+	if err != nil {
+		return err
+	}
+	for i := range got {
+		if got[i] != p.want[i] {
+			return fmt.Errorf("rcsched: job %d (%s, %d B) output diverges from the golden algorithm at byte %d",
+				job.ID, job.App, job.Size, i)
+		}
+	}
+	s := mb.Sess.ID()
+	done := mb.DonePs()
+	rep.Jobs[idx] = JobReport{
+		ID:           job.ID,
+		App:          job.App,
+		Size:         job.Size,
+		Slot:         s,
+		ArrivalPs:    job.ArrivalPs,
+		QueueWaitPs:  sr.dispatchPs - job.ArrivalPs,
+		ReconfigPs:   sr.reconfigPs,
+		ExecPs:       done - sr.startPs,
+		LatencyPs:    done - job.ArrivalPs,
+		DonePs:       done,
+		Reconfigured: sr.reconfigPs > 0,
+		Faults:       mb.Sess.Count.Faults,
+	}
+	rep.SlotBusyPs[s] += done - sr.dispatchPs
+	return nil
+}

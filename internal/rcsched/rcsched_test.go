@@ -1,0 +1,220 @@
+package rcsched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTraceDeterminism pins the trace generator's contract: the same
+// (n, seed, gap) triple replays bit-for-bit, a different seed diverges,
+// arrivals are monotone and IDEA sizes are whole blocks.
+func TestTraceDeterminism(t *testing.T) {
+	a := Trace(24, 7, 0.2e9)
+	b := Trace(24, 7, 0.2e9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical trace parameters produced different streams")
+	}
+	c := Trace(24, 8, 0.2e9)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	last := 0.0
+	for _, j := range a {
+		if j.ArrivalPs < last {
+			t.Fatalf("job %d arrives before its predecessor", j.ID)
+		}
+		last = j.ArrivalPs
+		if j.Size%8 != 0 {
+			t.Fatalf("job %d size %d is not a whole IDEA block count", j.ID, j.Size)
+		}
+	}
+}
+
+// TestPolicyPick exercises the dispatch decisions on synthetic queues.
+func TestPolicyPick(t *testing.T) {
+	queue := []*Job{
+		{ID: 0, App: "idea", Size: 4096, coreName: "idea"},
+		{ID: 1, App: "vecadd", Size: 1024, coreName: "vecadd"},
+		{ID: 2, App: "adpcm", Size: 2048, coreName: "adpcmdecode"},
+	}
+	slots := []SlotState{
+		{Free: false, Resident: "idea"},
+		{Free: true, Resident: "adpcmdecode"},
+	}
+
+	if j, s, ok := (FCFS{}).Pick(queue, slots); !ok || j != 0 || s != 1 {
+		t.Fatalf("FCFS picked (%d,%d,%v), want head of queue on lowest free slot", j, s, ok)
+	}
+	if j, s, ok := (SJF{}).Pick(queue, slots); !ok || j != 1 || s != 1 {
+		t.Fatalf("SJF picked (%d,%d,%v), want the smallest job", j, s, ok)
+	}
+	// Affinity: slot 1 has adpcmdecode resident, job 2 is the match.
+	if j, s, ok := (Affinity{}).Pick(queue, slots); !ok || j != 2 || s != 1 {
+		t.Fatalf("affinity picked (%d,%d,%v), want the resident-matching job", j, s, ok)
+	}
+	// No match anywhere: affinity prefers an empty slot over evicting a
+	// resident core.
+	slots = []SlotState{
+		{Free: true, Resident: "vecadd"},
+		{Free: true, Resident: ""},
+	}
+	queue = queue[:1] // idea only
+	if j, s, ok := (Affinity{}).Pick(queue, slots); !ok || j != 0 || s != 1 {
+		t.Fatalf("affinity picked (%d,%d,%v), want FCFS onto the empty slot", j, s, ok)
+	}
+	// Nothing free: every policy declines.
+	slots = []SlotState{{Free: false}}
+	for _, p := range []Policy{FCFS{}, SJF{}, Affinity{}} {
+		if _, _, ok := p.Pick(queue, slots); ok {
+			t.Fatalf("%s dispatched onto a busy board", p.Name())
+		}
+	}
+}
+
+// TestServeAllPoliciesComplete runs a shared 16-job trace under every
+// policy and slot count and checks the report invariants: every job
+// completes exactly once with verified output (Serve fails otherwise),
+// waits and latencies are consistent, and utilisation is a fraction.
+func TestServeAllPoliciesComplete(t *testing.T) {
+	jobs := Trace(16, 4242, 0.15e9)
+	for _, policy := range []string{"fcfs", "sjf", "affinity"} {
+		for _, slots := range []int{1, 2, 4} {
+			rep, err := Serve(Config{Policy: policy, Slots: slots}, jobs)
+			if err != nil {
+				t.Fatalf("%s/%d slots: %v", policy, slots, err)
+			}
+			if len(rep.Jobs) != len(jobs) {
+				t.Fatalf("%s/%d slots: served %d of %d jobs", policy, slots, len(rep.Jobs), len(jobs))
+			}
+			seen := map[int]bool{}
+			for _, j := range rep.Jobs {
+				if seen[j.ID] {
+					t.Fatalf("%s/%d slots: job %d served twice", policy, slots, j.ID)
+				}
+				seen[j.ID] = true
+				if j.QueueWaitPs < 0 || j.ExecPs <= 0 || j.DonePs <= 0 {
+					t.Fatalf("%s/%d slots: job %d has inconsistent metrics %+v", policy, slots, j.ID, j)
+				}
+				if j.LatencyPs < j.ExecPs {
+					t.Fatalf("%s/%d slots: job %d latency %v below exec %v", policy, slots, j.ID, j.LatencyPs, j.ExecPs)
+				}
+				if j.Slot < 0 || j.Slot >= slots {
+					t.Fatalf("%s/%d slots: job %d on slot %d", policy, slots, j.ID, j.Slot)
+				}
+			}
+			if rep.UtilMean <= 0 || rep.UtilMean > 1 {
+				t.Fatalf("%s/%d slots: utilisation %v out of range", policy, slots, rep.UtilMean)
+			}
+			if rep.MakespanPs <= 0 {
+				t.Fatalf("%s/%d slots: empty makespan", policy, slots)
+			}
+		}
+	}
+}
+
+// TestAffinityReducesReconfiguration is the headline property of the
+// bitstream-affinity policy: on the same stream and board it must spend
+// less configuration-port time (and fewer reconfigurations) than FCFS.
+func TestAffinityReducesReconfiguration(t *testing.T) {
+	jobs := Trace(24, 4242, 0.15e9)
+	fcfs, err := Serve(Config{Policy: "fcfs", Slots: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff, err := Serve(Config{Policy: "affinity", Slots: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aff.Reconfigs >= fcfs.Reconfigs {
+		t.Fatalf("affinity reconfigured %d times, FCFS %d — no saving", aff.Reconfigs, fcfs.Reconfigs)
+	}
+	if aff.TotalReconfigPs >= fcfs.TotalReconfigPs {
+		t.Fatalf("affinity spent %.3f ms reconfiguring, FCFS %.3f ms — no saving",
+			aff.TotalReconfigPs/1e9, fcfs.TotalReconfigPs/1e9)
+	}
+}
+
+// TestServeSchedulerEquivalence runs one serving cell under the lockstep
+// reference scheduler and the event-driven default and requires the whole
+// report — per-job metrics included — to agree bit for bit, extending the
+// repository's differential guarantee to the serving layer (the alarm
+// ticker's bulk-skip windows must be provably inert).
+func TestServeSchedulerEquivalence(t *testing.T) {
+	jobs := Trace(10, 99, 0.2e9)
+	run := func(s sim.Scheduler) *Report {
+		t.Helper()
+		prev := sim.SetDefaultScheduler(s)
+		defer sim.SetDefaultScheduler(prev)
+		rep, err := Serve(Config{Policy: "affinity", Slots: 2}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	lock := run(sim.Lockstep)
+	evnt := run(sim.EventDriven)
+	if !reflect.DeepEqual(lock, evnt) {
+		t.Fatalf("schedulers disagree:\n lockstep %+v\n event    %+v", lock, evnt)
+	}
+}
+
+// TestDetachLeavesSurvivorsIntact is the system-level detach invariant: a
+// short job attaches next to a long-running one, finishes first and
+// detaches — reclaiming its frames and translation entries — while the
+// survivor keeps executing. Both outputs are verified against the golden
+// algorithms inside Serve, so the survivor's result is bit-identical to
+// what a never-disturbed run produces.
+func TestDetachLeavesSurvivorsIntact(t *testing.T) {
+	long := Job{ID: 0, App: "adpcm", Size: 4096, ArrivalPs: 0, Seed: 1}
+	short := Job{ID: 1, App: "vecadd", Size: 1024, ArrivalPs: 0, Seed: 2}
+
+	solo, err := Serve(Config{Policy: "fcfs", Slots: 2}, []Job{long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Serve(Config{Policy: "fcfs", Slots: 2}, []Job{long, short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var longR, shortR *JobReport
+	for i := range both.Jobs {
+		switch both.Jobs[i].ID {
+		case 0:
+			longR = &both.Jobs[i]
+		case 1:
+			shortR = &both.Jobs[i]
+		}
+	}
+	if longR.Slot == shortR.Slot {
+		t.Fatalf("jobs share slot %d; want concurrent execution", longR.Slot)
+	}
+	if shortR.DonePs >= longR.DonePs {
+		t.Fatalf("short job finished at %.3f ms, after the long job's %.3f ms — no mid-run detach exercised",
+			shortR.DonePs/1e9, longR.DonePs/1e9)
+	}
+	// The survivor's fault count matches its undisturbed run: the detach
+	// reclaimed only the short job's frames.
+	if longR.Faults != solo.Jobs[0].Faults {
+		t.Fatalf("survivor faulted %d times next to a detaching neighbour, %d alone",
+			longR.Faults, solo.Jobs[0].Faults)
+	}
+}
+
+// TestServeRejectsBadConfig pins the configuration validation.
+func TestServeRejectsBadConfig(t *testing.T) {
+	jobs := Trace(2, 1, 0.1e9)
+	if _, err := Serve(Config{Policy: "optimal"}, jobs); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := Serve(Config{Board: "EPXA99"}, jobs); err == nil {
+		t.Fatal("unknown board accepted")
+	}
+	if _, err := Serve(Config{Slots: 32}, jobs); err == nil {
+		t.Fatal("32 slots on a 16-frame pool accepted")
+	}
+	if _, err := Serve(Config{}, nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

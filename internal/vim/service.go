@@ -196,7 +196,11 @@ func (s *Session) freeFrame(demand bool) int {
 			return i
 		}
 	}
-	if demand && !m.single() && m.arb == GlobalLRU {
+	// Under GlobalLRU the whole pool is fair game for demand paging — free
+	// foreign frames include partitions reclaimed by Detach. (A manager
+	// built with New always arbitrates statically, so the paper's
+	// single-session shape never reaches this scan.)
+	if demand && m.arb == GlobalLRU {
 		for i := range m.frames {
 			if !m.frames[i].Occupied {
 				return i

@@ -27,6 +27,12 @@
 // globally least-recently-used frame from a neighbour. The single-session
 // constructor New builds a manager whose only session spans the whole pool,
 // which reproduces the paper's original module bit for bit.
+//
+// Sessions are dynamic: Attach admits a new session while others are
+// mid-execution (first-fit partition carve, lowest free session slot) and
+// Detach reclaims a finished session's frames, translation-table slice and
+// slot, so an OS-level scheduler (package rcsched) can load and unload
+// coprocessors at runtime under a live job stream.
 package vim
 
 import (
@@ -173,9 +179,12 @@ type Manager struct {
 	regBase uint32 // AHB base address of the IMU register window
 	pageSz  uint32
 
-	frames   []Frame
+	frames []Frame
+	// sessions is indexed by session identifier (== the session's IMU
+	// channel); a nil hole is a detached slot awaiting reuse. live counts
+	// the non-nil entries.
 	sessions []*Session
-	carved   int // frames already assigned to partitions
+	live     int
 
 	// view is the reusable scratch slice scopedVictim hands to replacement
 	// policies: a copy of frames with foreign sessions' frames blanked.
@@ -227,14 +236,43 @@ func New(k *kernel.Kernel, u *imu.IMU, dpBase, regBase uint32, pageSize int, cfg
 // occupies the partition's first frame, so a runnable session needs at
 // least two frames.
 func (m *Manager) AddSession(cfg Config, nframes int) (*Session, error) {
-	if len(m.sessions) >= imu.MaxChannels {
-		return nil, fmt.Errorf("%w: %d sessions exceed the %d IMU channels", ErrPartition, len(m.sessions)+1, imu.MaxChannels)
+	return m.Attach(cfg, nframes, -1)
+}
+
+// Attach dynamically admits a new session: it claims session slot ch (which
+// is also the session's IMU channel; ch < 0 picks the lowest free slot),
+// carves a first-fit contiguous run of nframes free frames into the new
+// session's home partition, and returns the session. Attach may be called
+// while other sessions are mid-execution — the carve only ever takes frames
+// that belong to no live partition and hold no page, so neighbours keep
+// translating undisturbed. Detach is the inverse.
+func (m *Manager) Attach(cfg Config, nframes int, ch int) (*Session, error) {
+	if ch < 0 {
+		for i := 0; i < imu.MaxChannels; i++ {
+			if i >= len(m.sessions) || m.sessions[i] == nil {
+				ch = i
+				break
+			}
+		}
+		if ch < 0 {
+			return nil, fmt.Errorf("%w: all %d IMU channels hold live sessions", ErrPartition, imu.MaxChannels)
+		}
+	} else if ch >= m.u.Channels() {
+		// An explicit slot binds to existing hardware immediately, so it
+		// must name a configured channel. (Auto-picked slots keep the
+		// looser AddSession contract: the static gang carves sessions
+		// first and assembles the matching channels afterwards.)
+		return nil, fmt.Errorf("%w: session slot %d on a %d-channel IMU", ErrPartition, ch, m.u.Channels())
+	}
+	if ch < len(m.sessions) && m.sessions[ch] != nil {
+		return nil, fmt.Errorf("%w: session slot %d already live", ErrPartition, ch)
 	}
 	if nframes < 2 {
 		return nil, fmt.Errorf("%w: %d frames (the parameter page needs one, data at least one)", ErrPartition, nframes)
 	}
-	if m.carved+nframes > len(m.frames) {
-		return nil, fmt.Errorf("%w: %d frames requested, %d left in the pool", ErrPartition, nframes, len(m.frames)-m.carved)
+	lo := m.findRun(nframes)
+	if lo < 0 {
+		return nil, fmt.Errorf("%w: no contiguous run of %d free frames in the pool", ErrPartition, nframes)
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = FIFO{}
@@ -248,34 +286,98 @@ func (m *Manager) AddSession(cfg Config, nframes int) (*Session, error) {
 	}
 	s := &Session{
 		m:           m,
-		id:          uint8(len(m.sessions)),
-		lo:          m.carved,
-		hi:          m.carved + nframes,
+		id:          uint8(ch),
+		lo:          lo,
+		hi:          lo + nframes,
 		cfg:         cfg,
 		objects:     map[uint8]*Object{},
 		writtenBack: map[uint64]bool{},
 	}
-	m.carved += nframes
-	m.sessions = append(m.sessions, s)
+	for ch >= len(m.sessions) {
+		m.sessions = append(m.sessions, nil)
+	}
+	m.sessions[ch] = s
+	m.live++
 	return s, nil
 }
 
-// single reports whether the manager runs the paper's single-session shape
-// (one session spanning the whole pool), which uses the original unscoped
-// fast paths.
-func (m *Manager) single() bool { return len(m.sessions) == 1 }
+// Detach tears a session down and reclaims its resources: every frame it
+// owns is dropped (no write-back — flush results with Finish first), its
+// slice of the IMU translation table is invalidated, its object table is
+// cleared, and both its home partition and its session slot return to the
+// pool for a later Attach. Surviving sessions keep translating throughout.
+func (m *Manager) Detach(s *Session) error {
+	if s == nil || int(s.id) >= len(m.sessions) || m.sessions[s.id] != s {
+		return fmt.Errorf("%w: detaching a session the manager does not hold", ErrPartition)
+	}
+	for i := range m.frames {
+		if m.frames[i].Occupied && m.frames[i].Sess == s.id {
+			m.frames[i] = Frame{}
+		}
+	}
+	m.u.InvalidateSession(s.id)
+	m.u.ClearParamFreeCh(int(s.id))
+	s.objects = map[uint8]*Object{}
+	s.writtenBack = map[uint64]bool{}
+	m.sessions[s.id] = nil
+	m.live--
+	return nil
+}
 
-// Sessions returns the managed sessions (experiments, tools).
-func (m *Manager) Sessions() []*Session { return m.sessions }
+// findRun locates the lowest first-fit contiguous run of n carveable frames:
+// frames inside no live partition and holding no page (a neighbour may have
+// borrowed an uncarved frame under GlobalLRU). It returns the start index,
+// or -1.
+func (m *Manager) findRun(n int) int {
+	run := 0
+	for i := range m.frames {
+		if m.frames[i].Occupied || m.inPartition(i) {
+			run = 0
+			continue
+		}
+		run++
+		if run == n {
+			return i - n + 1
+		}
+	}
+	return -1
+}
+
+// inPartition reports whether frame f lies inside a live session's home
+// partition.
+func (m *Manager) inPartition(f int) bool {
+	for _, s := range m.sessions {
+		if s != nil && f >= s.lo && f < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// single reports whether the manager runs the paper's single-session shape
+// (one live session), which uses the original unscoped fast paths.
+func (m *Manager) single() bool { return m.live == 1 }
+
+// Sessions returns the live sessions in slot order (experiments, tools).
+func (m *Manager) Sessions() []*Session {
+	out := make([]*Session, 0, m.live)
+	for _, s := range m.sessions {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
 
 // Arbitration returns the inter-session arbitration policy.
 func (m *Manager) Arbitration() Arbitration { return m.arb }
 
 // errNoSessions guards the single-session compatibility shims: a manager
-// built with NewManager has no sessions until AddSession.
+// built with NewManager has no sessions until AddSession, and slot 0 may
+// have been detached since.
 func (m *Manager) errNoSessions() error {
-	if len(m.sessions) == 0 {
-		return fmt.Errorf("%w: manager has no sessions (AddSession first)", ErrPartition)
+	if len(m.sessions) == 0 || m.sessions[0] == nil {
+		return fmt.Errorf("%w: manager has no session in slot 0 (AddSession first)", ErrPartition)
 	}
 	return nil
 }
@@ -283,7 +385,7 @@ func (m *Manager) errNoSessions() error {
 // Config returns the first session's configuration (single-session
 // compatibility; zero Config on a session-less manager).
 func (m *Manager) Config() Config {
-	if len(m.sessions) == 0 {
+	if len(m.sessions) == 0 || m.sessions[0] == nil {
 		return Config{}
 	}
 	return m.sessions[0].cfg
@@ -298,7 +400,7 @@ func (m *Manager) Frames() []Frame { return append([]Frame(nil), m.frames...) }
 // Objects returns the first session's mapped objects (single-session
 // compatibility).
 func (m *Manager) Objects() []Object {
-	if len(m.sessions) == 0 {
+	if len(m.sessions) == 0 || m.sessions[0] == nil {
 		return nil
 	}
 	return m.sessions[0].Objects()
@@ -315,7 +417,7 @@ func (m *Manager) MapObject(id uint8, base, size uint32, dir Direction) error {
 
 // UnmapAll clears the first session's object table (between executions).
 func (m *Manager) UnmapAll() {
-	if len(m.sessions) > 0 {
+	if len(m.sessions) > 0 && m.sessions[0] != nil {
 		m.sessions[0].UnmapAll()
 	}
 }
@@ -347,11 +449,13 @@ func (m *Manager) Finish() error {
 	return m.sessions[0].Finish()
 }
 
-// ResetCounters zeroes the aggregate and every session's counters.
+// ResetCounters zeroes the aggregate and every live session's counters.
 func (m *Manager) ResetCounters() {
 	m.Count = Counters{}
 	for _, s := range m.sessions {
-		s.Count = Counters{}
+		if s != nil {
+			s.Count = Counters{}
+		}
 	}
 }
 

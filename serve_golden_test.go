@@ -1,0 +1,161 @@
+// Golden determinism tests for the serving layer: every pinned SERVE cell
+// runs the full dynamic-reconfiguration scheduler — sessions attaching and
+// detaching at runtime, slots reconfiguring, every job output verified
+// against the golden algorithms — under BOTH simulation schedulers, and the
+// measured metrics must match the committed values bit for bit.
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/rcsched"
+	"repro/internal/sim"
+)
+
+// serveCell is the pinned measurement record of one serving cell.
+type serveCell struct {
+	MakespanPs      float64 `json:"makespan_ps"`
+	MeanWaitPs      float64 `json:"mean_wait_ps"`
+	MeanLatencyPs   float64 `json:"mean_latency_ps"`
+	TotalReconfigPs float64 `json:"total_reconfig_ps"`
+	Reconfigs       int     `json:"reconfigs"`
+	Faults          uint64  `json:"faults"`
+	SWDPPs          float64 `json:"swdp_ps"`
+	SWIMUPs         float64 `json:"swimu_ps"`
+	SWOSPs          float64 `json:"swos_ps"`
+}
+
+func serveCellOf(rep *rcsched.Report) serveCell {
+	return serveCell{
+		MakespanPs:      rep.MakespanPs,
+		MeanWaitPs:      rep.MeanWaitPs,
+		MeanLatencyPs:   rep.MeanLatencyPs,
+		TotalReconfigPs: rep.TotalReconfigPs,
+		Reconfigs:       rep.Reconfigs,
+		Faults:          rep.VIM.Faults,
+		SWDPPs:          rep.SWDPPs,
+		SWIMUPs:         rep.SWIMUPs,
+		SWOSPs:          rep.SWOSPs,
+	}
+}
+
+// serveCellSpec enumerates the pinned serving cells: every policy over the
+// slot-count sweep at the default configuration bandwidth, plus the
+// slow-config-port pair in which affinity's reconfiguration saving is most
+// visible.
+type serveCellSpec struct {
+	policy string
+	slots  int
+	bw     float64
+}
+
+func allServeCells() []serveCellSpec {
+	var cells []serveCellSpec
+	for _, policy := range []string{"fcfs", "sjf", "affinity"} {
+		for _, slots := range []int{1, 2, 4} {
+			cells = append(cells, serveCellSpec{policy, slots, rcsched.DefaultConfigBW})
+		}
+	}
+	cells = append(cells,
+		serveCellSpec{"fcfs", 2, 250_000},
+		serveCellSpec{"affinity", 2, 250_000},
+	)
+	return cells
+}
+
+func (c serveCellSpec) name() string {
+	return fmt.Sprintf("%s/%dslots/%dKBps", c.policy, c.slots, int(c.bw)/1000)
+}
+
+func (c serveCellSpec) run() (*rcsched.Report, error) {
+	return rcsched.Serve(rcsched.Config{Policy: c.policy, Slots: c.slots, ConfigBW: c.bw}, exp.ServeTrace())
+}
+
+const serveCellsPath = "testdata/serve_cells.json"
+
+// TestGoldenServeCells pins every serving cell end to end under both the
+// lockstep reference scheduler and the event-driven default (which must
+// agree bit for bit), and enforces the committed golden file. Regenerate
+// with -update-golden (captured from the lockstep engine, like the
+// execution cells).
+func TestGoldenServeCells(t *testing.T) {
+	var want map[string]serveCell
+	if !*updateGolden {
+		data, err := os.ReadFile(serveCellsPath)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+		}
+		want = map[string]serveCell{}
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(allServeCells()) {
+			t.Errorf("golden file has %d cells, expected %d", len(want), len(allServeCells()))
+		}
+	}
+	got := map[string]serveCell{}
+	for _, spec := range allServeCells() {
+		spec := spec
+		t.Run(spec.name(), func(t *testing.T) {
+			lockRep, err := runWith(sim.Lockstep, spec.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evntRep, err := runWith(sim.EventDriven, spec.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lock, evnt := serveCellOf(lockRep), serveCellOf(evntRep)
+			if lock != evnt {
+				t.Errorf("schedulers disagree:\n lockstep %+v\n event    %+v", lock, evnt)
+			}
+			got[spec.name()] = lock
+			if want != nil {
+				w, ok := want[spec.name()]
+				if !ok {
+					t.Errorf("cell %s missing from golden file (re-run with -update-golden)", spec.name())
+				} else if lock != w {
+					t.Errorf("cell drifted:\n got  %+v\n want %+v", lock, w)
+				}
+			}
+		})
+	}
+
+	// The acceptance property of the bitstream-affinity policy, asserted on
+	// the pinned cells themselves: on the same stream it spends strictly
+	// less configuration-port time than FCFS — at the default bandwidth and
+	// even more visibly on the slow port.
+	for _, pair := range [][2]string{
+		{"affinity/2slots/1000KBps", "fcfs/2slots/1000KBps"},
+		{"affinity/2slots/250KBps", "fcfs/2slots/250KBps"},
+	} {
+		aff, okA := got[pair[0]]
+		fcfs, okF := got[pair[1]]
+		if !okA || !okF {
+			continue // a -run subtest filter skipped one side of the pair
+		}
+		if aff.TotalReconfigPs >= fcfs.TotalReconfigPs {
+			t.Errorf("%s reconfig %.3f ms not below %s's %.3f ms",
+				pair[0], aff.TotalReconfigPs/1e9, pair[1], fcfs.TotalReconfigPs/1e9)
+		}
+		if aff.Reconfigs >= fcfs.Reconfigs {
+			t.Errorf("%s reconfigured %d times, %s %d — no saving",
+				pair[0], aff.Reconfigs, pair[1], fcfs.Reconfigs)
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(serveCellsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cells to %s", len(got), serveCellsPath)
+	}
+}
