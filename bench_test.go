@@ -229,21 +229,36 @@ func BenchmarkAblationPageSize(b *testing.B) {
 }
 
 // BenchmarkServe runs the dynamic-reconfiguration serving cells: the
-// 24-job SERVE stream on two shell slots under each scheduling policy. The
-// simulated makespan and total reconfiguration time are published as
-// metrics alongside the host-side cost of running the whole serving loop.
+// 24-job SERVE stream on two shell slots under each scheduling policy —
+// including the deadline-aware pair, with and without pre-staged
+// reconfiguration for slack. The simulated makespan, total reconfiguration
+// time and deadline metrics are published alongside the host-side cost of
+// running the whole serving loop.
 func BenchmarkServe(b *testing.B) {
 	jobs := exp.ServeTrace()
-	for _, policy := range []string{"fcfs", "sjf", "affinity"} {
-		b.Run(policy, func(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		policy string
+		stage  bool
+	}{
+		{"fcfs", "fcfs", false},
+		{"sjf", "sjf", false},
+		{"affinity", "affinity", false},
+		{"edf", "edf", false},
+		{"slack", "slack", false},
+		{"slack-staged", "slack", true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := rcsched.Serve(rcsched.Config{Policy: policy, Slots: 2}, jobs)
+				rep, err := rcsched.Serve(rcsched.Config{Policy: c.policy, Slots: 2, Stage: c.stage}, jobs)
 				if err != nil {
 					b.Fatal(err)
 				}
 				reportSim(b, "sim-ms-makespan", rep.MakespanPs)
 				reportSim(b, "sim-ms-reconfig", rep.TotalReconfigPs)
+				reportSim(b, "sim-ms-p99", rep.P99LatencyPs)
 				b.ReportMetric(float64(rep.Reconfigs), "reconfigs")
+				b.ReportMetric(rep.MissRate, "miss-rate")
 			}
 		})
 	}

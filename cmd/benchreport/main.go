@@ -148,6 +148,7 @@ func diffBaseline(rep Report, path string, maxRegress, noiseFloor float64) bool 
 		baseline[r.Name] = r
 	}
 	fresh := make(map[string]bool, len(rep.Results))
+	var floored []string
 	regressed := false
 	for _, r := range rep.Results {
 		fresh[r.Name] = true
@@ -164,9 +165,17 @@ func diffBaseline(rep Report, path string, maxRegress, noiseFloor float64) bool 
 				regressed = true
 			} else {
 				mark = "ok~ " // over the fraction but under the noise floor
+				floored = append(floored, r.Name)
 			}
 		}
 		fmt.Printf("  %s %-55s %12.0f -> %12.0f ns/op (%+.1f%%)\n", mark, r.Name, b.NsPerOp, r.NsPerOp, delta*100)
+	}
+	// Benchmarks the percentage gate skipped must not vanish silently from
+	// CI logs: name every cell whose regression was excused by the
+	// absolute noise floor.
+	if len(floored) > 0 {
+		fmt.Printf("  note: %d benchmark(s) regressed beyond %.0f%% but under the %.0f µs noise floor (excused): %s\n",
+			len(floored), maxRegress*100, noiseFloor/1000, strings.Join(floored, ", "))
 	}
 	// A baseline benchmark that no longer runs must not slip out of the
 	// gate silently: removing or renaming one requires re-capturing the

@@ -14,6 +14,8 @@
 //	vimsim -mode multi -arb global-lru             # ... with frame stealing
 //	vimsim -mode serve -slots 2 -policy affinity   # serve a 24-job stream
 //	vimsim -mode serve -jobs 32 -seed 7 -bw 250000 # ... slow config port
+//	vimsim -mode serve -policy slack -stage        # deadline-aware + pre-staging
+//	vimsim -mode serve -policy edf -budget 0.5     # tight service-level budgets
 package main
 
 import (
@@ -39,7 +41,7 @@ func main() {
 	app := flag.String("app", "idea", "application: vecadd | adpcm | idea")
 	size := flag.Int("size", 16384, "input size in bytes (vecadd: per-vector bytes)")
 	board := flag.String("board", "EPXA1", "board: EPXA1 | EPXA4 | EPXA10")
-	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random; serve mode: scheduling policy: fcfs | sjf | affinity")
+	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random; serve mode: scheduling policy: fcfs | sjf | affinity | edf | slack")
 	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi | serve")
 	arb := flag.String("arb", "static", "multi mode: inter-session arbitration: static | global-lru")
 	split := flag.Int("split", 0, "multi mode: page frames for the IDEA session (0 = half the pool)")
@@ -47,6 +49,8 @@ func main() {
 	jobs := flag.Int("jobs", 24, "serve mode: jobs in the generated multi-user stream")
 	bw := flag.Float64("bw", 0, "serve mode: configuration-port bandwidth, bytes/s (0 = default)")
 	gap := flag.Float64("gap", 0.15, "serve mode: mean arrival gap in ms")
+	stage := flag.Bool("stage", false, "serve mode: pre-stage the next bitstream while slots execute")
+	budget := flag.Float64("budget", rcsched.DefaultBudgetFactor, "serve mode: service-level budget factor scaling every job's deadline")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined IMU")
 	bounce := flag.Bool("bounce", false, "use the double-transfer (bounce buffer) page path")
 	prefetch := flag.Int("prefetch", 0, "sequential prefetch pages per fault")
@@ -89,10 +93,16 @@ func main() {
 				log.Fatalf("mode serve does not support %s (serves the generated mixed trace on a static-partition shell)", f.name)
 			}
 		}
-		if err := runServe(*board, pol, *slots, *jobs, *bw, *gap, *seed); err != nil {
+		if err := runServe(*board, pol, *slots, *jobs, *bw, *gap, *budget, *seed, *stage); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *stage {
+		log.Fatalf("-stage only applies to -mode serve")
+	}
+	if *budget != rcsched.DefaultBudgetFactor {
+		log.Fatalf("-budget only applies to -mode serve")
 	}
 
 	if *mode == "multi" {
@@ -307,25 +317,40 @@ func runMulti(board, arb string, split, size int, seed int64) error {
 // runServe generates a seeded multi-user job stream and serves it through
 // the dynamic reconfiguration scheduler, printing the per-job log and the
 // aggregate report.
-func runServe(board, policy string, slots, jobs int, bw, gapMs float64, seed int64) error {
-	stream := rcsched.Trace(jobs, seed, gapMs*1e9)
+func runServe(board, policy string, slots, jobs int, bw, gapMs, budget float64, seed int64, stage bool) error {
+	if budget <= 0 {
+		return fmt.Errorf("service-level budget factor must be positive, got %g", budget)
+	}
+	stream, err := rcsched.Trace(jobs, seed, gapMs*1e9)
+	if err != nil {
+		return err
+	}
+	rcsched.SetBudgets(stream, budget)
 	rep, err := rcsched.Serve(rcsched.Config{
 		Board:    board,
 		Slots:    slots,
 		Policy:   policy,
 		ConfigBW: bw,
+		Stage:    stage,
 	}, stream)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mode        serve (%d jobs, seed %d, mean gap %.2f ms)\n", jobs, seed, gapMs)
+	staging := "off"
+	if stage {
+		staging = fmt.Sprintf("on (%d commits, %d cancels)", rep.StageCommits, rep.StageCancels)
+	}
+	fmt.Printf("mode        serve (%d jobs, seed %d, mean gap %.2f ms, budget factor %g)\n", jobs, seed, gapMs, budget)
 	fmt.Printf("board       %s\n", rep.Board)
 	fmt.Printf("policy      %s\n", rep.Policy)
 	fmt.Printf("slots       %d\n", rep.Slots)
 	fmt.Printf("config BW   %.0f KB/s\n", rep.ConfigBW/1000)
+	fmt.Printf("staging     %s\n", staging)
 	fmt.Printf("makespan    %.3f ms\n", rep.MakespanPs/1e9)
 	fmt.Printf("mean wait   %.3f ms\n", rep.MeanWaitPs/1e9)
 	fmt.Printf("mean lat.   %.3f ms\n", rep.MeanLatencyPs/1e9)
+	fmt.Printf("p99 lat.    %.3f ms\n", rep.P99LatencyPs/1e9)
+	fmt.Printf("deadlines   %d of %d missed (miss rate %.2f)\n", rep.Misses, len(rep.Jobs), rep.MissRate)
 	fmt.Printf("reconfigs   %d (%.3f ms on the config port)\n", rep.Reconfigs, rep.TotalReconfigPs/1e9)
 	fmt.Printf("utilisation %.2f mean across slots\n", rep.UtilMean)
 	fmt.Printf("sw          %.3f ms DP, %.3f ms IMU, %.3f ms OS\n",
@@ -335,11 +360,19 @@ func runServe(board, policy string, slots, jobs int, bw, gapMs float64, seed int
 	fmt.Println("jobs        (all outputs verified against the golden algorithms)")
 	for _, j := range rep.Jobs {
 		reconf := "resident"
-		if j.Reconfigured {
+		switch {
+		case j.Staged:
+			reconf = fmt.Sprintf("staged %.3f ms", j.ReconfigPs/1e9)
+		case j.Reconfigured:
 			reconf = fmt.Sprintf("reconfig %.2f ms", j.ReconfigPs/1e9)
 		}
-		fmt.Printf("  #%-3d %-7s %5d B  slot %d  arrive %7.3f  wait %7.3f  exec %7.3f  done %7.3f ms  %s\n",
-			j.ID, j.App, j.Size, j.Slot, j.ArrivalPs/1e9, j.QueueWaitPs/1e9, j.ExecPs/1e9, j.DonePs/1e9, reconf)
+		slo := "met "
+		if j.Missed {
+			slo = fmt.Sprintf("LATE %+.2f", j.LatenessPs/1e9)
+		}
+		fmt.Printf("  #%-3d %-7s %5d B  slot %d  arrive %7.3f  wait %7.3f  exec %7.3f  done %7.3f  dl %7.3f ms %s  %s\n",
+			j.ID, j.App, j.Size, j.Slot, j.ArrivalPs/1e9, j.QueueWaitPs/1e9, j.ExecPs/1e9, j.DonePs/1e9,
+			j.DeadlinePs/1e9, slo, reconf)
 	}
 	return nil
 }

@@ -1,0 +1,179 @@
+// Golden determinism tests for the deadline-aware serving layer: every
+// pinned DEADLINE cell runs the full scheduler — pre-staged
+// reconfiguration included — under BOTH simulation schedulers, and the
+// measured metrics must match the committed values bit for bit.
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/rcsched"
+	"repro/internal/sim"
+)
+
+// deadlineCell is the pinned measurement record of one deadline cell.
+type deadlineCell struct {
+	MakespanPs      float64 `json:"makespan_ps"`
+	MeanLatencyPs   float64 `json:"mean_latency_ps"`
+	P99LatencyPs    float64 `json:"p99_latency_ps"`
+	MissRate        float64 `json:"miss_rate"`
+	Misses          int     `json:"misses"`
+	TotalReconfigPs float64 `json:"total_reconfig_ps"`
+	Reconfigs       int     `json:"reconfigs"`
+	StageCommits    int     `json:"stage_commits"`
+	StageCancels    int     `json:"stage_cancels"`
+	Faults          uint64  `json:"faults"`
+}
+
+func deadlineCellOf(rep *rcsched.Report) deadlineCell {
+	return deadlineCell{
+		MakespanPs:      rep.MakespanPs,
+		MeanLatencyPs:   rep.MeanLatencyPs,
+		P99LatencyPs:    rep.P99LatencyPs,
+		MissRate:        rep.MissRate,
+		Misses:          rep.Misses,
+		TotalReconfigPs: rep.TotalReconfigPs,
+		Reconfigs:       rep.Reconfigs,
+		StageCommits:    rep.StageCommits,
+		StageCancels:    rep.StageCancels,
+		Faults:          rep.VIM.Faults,
+	}
+}
+
+// deadlineCellSpec enumerates the pinned deadline cells: every deadline-era
+// policy with staging off and on at the slow configuration port where
+// pre-staging matters most, plus a default-bandwidth pair.
+type deadlineCellSpec struct {
+	policy string
+	stage  bool
+	bw     float64
+}
+
+func allDeadlineCells() []deadlineCellSpec {
+	var cells []deadlineCellSpec
+	for _, policy := range []string{"affinity", "edf", "slack"} {
+		for _, stage := range []bool{false, true} {
+			cells = append(cells, deadlineCellSpec{policy, stage, 250_000})
+		}
+	}
+	cells = append(cells,
+		deadlineCellSpec{"affinity", false, rcsched.DefaultConfigBW},
+		deadlineCellSpec{"slack", true, rcsched.DefaultConfigBW},
+	)
+	return cells
+}
+
+func (c deadlineCellSpec) name() string {
+	staging := "nostage"
+	if c.stage {
+		staging = "stage"
+	}
+	return fmt.Sprintf("%s/%s/%dKBps", c.policy, staging, int(c.bw)/1000)
+}
+
+func (c deadlineCellSpec) run() (*rcsched.Report, error) {
+	return rcsched.Serve(rcsched.Config{
+		Policy:   c.policy,
+		Slots:    2,
+		ConfigBW: c.bw,
+		Stage:    c.stage,
+	}, exp.DeadlineTrace(1))
+}
+
+const deadlineCellsPath = "testdata/deadline_cells.json"
+
+// TestGoldenDeadlineCells pins every deadline-aware serving cell end to end
+// under both the lockstep reference scheduler and the event-driven default
+// (which must agree bit for bit), and enforces the committed golden file.
+// Regenerate with -update-golden.
+func TestGoldenDeadlineCells(t *testing.T) {
+	var want map[string]deadlineCell
+	if !*updateGolden {
+		data, err := os.ReadFile(deadlineCellsPath)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+		}
+		want = map[string]deadlineCell{}
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(allDeadlineCells()) {
+			t.Errorf("golden file has %d cells, expected %d", len(want), len(allDeadlineCells()))
+		}
+	}
+	got := map[string]deadlineCell{}
+	for _, spec := range allDeadlineCells() {
+		spec := spec
+		t.Run(spec.name(), func(t *testing.T) {
+			lockRep, err := runWith(sim.Lockstep, spec.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evntRep, err := runWith(sim.EventDriven, spec.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lock, evnt := deadlineCellOf(lockRep), deadlineCellOf(evntRep)
+			if lock != evnt {
+				t.Errorf("schedulers disagree:\n lockstep %+v\n event    %+v", lock, evnt)
+			}
+			got[spec.name()] = lock
+			if want != nil {
+				w, ok := want[spec.name()]
+				if !ok {
+					t.Errorf("cell %s missing from golden file (re-run with -update-golden)", spec.name())
+				} else if lock != w {
+					t.Errorf("cell drifted:\n got  %+v\n want %+v", lock, w)
+				}
+			}
+		})
+	}
+
+	// The acceptance property of the deadline work, asserted on the pinned
+	// cells themselves: on the same saturated stream with a slow
+	// configuration port, slack with pre-staging strictly lowers both the
+	// p99 latency and the deadline miss-rate against the plain
+	// bitstream-affinity scheduler, and pre-staging strictly cuts full
+	// reconfigurations for every policy that uses it.
+	aff, okA := got["affinity/nostage/250KBps"]
+	slk, okS := got["slack/stage/250KBps"]
+	if okA && okS { // a -run subtest filter may have skipped one side
+		if slk.P99LatencyPs >= aff.P99LatencyPs {
+			t.Errorf("slack+staging p99 %.3f ms not below plain affinity's %.3f ms",
+				slk.P99LatencyPs/1e9, aff.P99LatencyPs/1e9)
+		}
+		if slk.MissRate >= aff.MissRate {
+			t.Errorf("slack+staging miss rate %.3f not below plain affinity's %.3f",
+				slk.MissRate, aff.MissRate)
+		}
+	}
+	for _, policy := range []string{"affinity", "edf", "slack"} {
+		off, okOff := got[policy+"/nostage/250KBps"]
+		on, okOn := got[policy+"/stage/250KBps"]
+		if !okOff || !okOn {
+			continue // a -run subtest filter skipped one side of the pair
+		}
+		if on.StageCommits == 0 {
+			t.Errorf("%s with staging never committed a pre-staged bitstream", policy)
+		}
+		if on.Reconfigs >= off.Reconfigs {
+			t.Errorf("%s with staging streamed %d full reconfigurations, %d without — no saving",
+				policy, on.Reconfigs, off.Reconfigs)
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(deadlineCellsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cells to %s", len(got), deadlineCellsPath)
+	}
+}

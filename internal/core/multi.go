@@ -489,6 +489,70 @@ func (g *Gang) BeginReconfig(slot int) error {
 	return nil
 }
 
+// BeginStage starts pre-staging a bitstream into slot i's staging buffer:
+// the coprocessor is instantiated and parked in the buffer while whatever
+// member occupies the slot keeps executing. The caller models the
+// configuration-port DMA time; once the member detaches, CommitStage swaps
+// the staged core in for a fixed commit latency instead of a full
+// configuration stream.
+func (g *Gang) BeginStage(slot int, img []byte) error {
+	if g.Shell == nil {
+		return fmt.Errorf("core: BeginStage on a non-shell gang")
+	}
+	if slot < 0 || slot >= len(g.bySlot) {
+		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, len(g.bySlot))
+	}
+	sl := g.Shell.Slots[slot]
+	if sl.Staged() != "" {
+		return fmt.Errorf("core: slot %d already staging %q", slot, sl.Staged())
+	}
+	h, inst, err := bitstream.Instantiate(img, g.Board.Spec.Name)
+	if err != nil {
+		return err
+	}
+	cp, ok := inst.(copro.Coprocessor)
+	if !ok {
+		return fmt.Errorf("core: bitstream %q produced a %T, not a coprocessor", h.Core, inst)
+	}
+	sl.Stage(cp)
+	return nil
+}
+
+// CommitStage swaps slot i's staged coprocessor in for the resident one.
+// The slot must be unoccupied (its member detached); the caller models the
+// fixed commit latency before the next AttachMember, which then finds the
+// staged core resident and reuses it with zero configuration traffic.
+func (g *Gang) CommitStage(slot int) error {
+	if g.Shell == nil {
+		return fmt.Errorf("core: CommitStage on a non-shell gang")
+	}
+	if slot < 0 || slot >= len(g.bySlot) {
+		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, len(g.bySlot))
+	}
+	if g.bySlot[slot] != nil {
+		return fmt.Errorf("core: committing staged core into slot %d still occupied by %q",
+			slot, g.bySlot[slot].App())
+	}
+	return g.Shell.CommitSlot(g.Board, slot)
+}
+
+// CancelStage discards slot i's staged bitstream — the job it was staged
+// for dispatched elsewhere. The resident core and every running neighbour
+// are untouched.
+func (g *Gang) CancelStage(slot int) error {
+	if g.Shell == nil {
+		return fmt.Errorf("core: CancelStage on a non-shell gang")
+	}
+	if slot < 0 || slot >= len(g.bySlot) {
+		return fmt.Errorf("core: slot %d out of range [0,%d)", slot, len(g.bySlot))
+	}
+	if g.Shell.Slots[slot].Staged() == "" {
+		return fmt.Errorf("core: slot %d has no staged coprocessor to cancel", slot)
+	}
+	g.Shell.Slots[slot].CancelStage()
+	return nil
+}
+
 // Launch implements the FPGA_EXECUTE entry for one shell-mode member:
 // syscall charge, parameter page and initial mapping on its session, and
 // CP_START on its channel. The engine is not run; the serving loop resumes

@@ -169,3 +169,91 @@ func TestGangConstructionErrors(t *testing.T) {
 		t.Fatal("added a member to an assembled gang")
 	}
 }
+
+// TestShellGangStaging pins the shell-mode staging contract: BeginStage
+// parks an instantiated coprocessor in a slot's staging buffer without
+// disturbing the resident core, CommitStage swaps it in (so a following
+// AttachMember reuses it with zero configuration traffic), CancelStage
+// discards it, and every misuse path errors.
+func TestShellGangStaging(t *testing.T) {
+	board, err := platform.NewBoard(platform.EPXA1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewShellGang(board, vim.StaticPartition, 24_000_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := vecaddImg(t, "EPXA1")
+
+	// Staging on a bare slot works and is visible to the slot.
+	if err := g.BeginStage(0, img); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Shell.Slots[0].Staged(); got != vecadd.CoreName {
+		t.Fatalf("staged = %q, want %q", got, vecadd.CoreName)
+	}
+	// A second stage on the same slot is rejected (one buffer per slot).
+	if err := g.BeginStage(0, img); err == nil {
+		t.Fatal("double-staged a slot")
+	}
+	if err := g.BeginStage(7, img); err == nil {
+		t.Fatal("staged an out-of-range slot")
+	}
+	if err := g.CommitStage(7); err == nil {
+		t.Fatal("committed an out-of-range slot")
+	}
+	if err := g.CancelStage(-1); err == nil {
+		t.Fatal("cancelled an out-of-range slot")
+	}
+
+	// Commit makes the staged core resident; AttachMember then takes the
+	// zero-config affinity path and reuses it.
+	if err := g.CommitStage(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Shell.Slots[0].Resident(); got != vecadd.CoreName {
+		t.Fatalf("resident after commit = %q, want %q", got, vecadd.CoreName)
+	}
+	resident := g.Shell.Slots[0].Core()
+	mb, err := g.AttachMember(0, img, 4, vim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Shell.Slots[0].Core() != resident {
+		t.Fatal("AttachMember re-instantiated a core the commit had just configured")
+	}
+
+	// Committing with an occupied slot or an empty buffer errors; cancel
+	// needs something staged.
+	if err := g.CommitStage(0); err == nil {
+		t.Fatal("committed into an occupied slot with nothing staged")
+	}
+	if err := g.BeginStage(0, img); err != nil {
+		t.Fatal(err) // staging behind a live member is the whole point
+	}
+	if err := g.CommitStage(0); err == nil {
+		t.Fatal("committed while the slot's member still runs")
+	}
+	if err := g.CancelStage(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CancelStage(0); err == nil {
+		t.Fatal("cancelled an empty staging buffer")
+	}
+	if g.Shell.Slots[0].Core() != resident || g.Shell.Slots[0].Resident() != vecadd.CoreName {
+		t.Fatal("stage/cancel churn disturbed the resident core")
+	}
+	if err := g.DetachMember(mb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage APIs are shell-only.
+	flat, err := NewGang(board, vim.StaticPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.BeginStage(0, img); err == nil {
+		t.Fatal("BeginStage on a non-shell gang succeeded")
+	}
+}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/rcsched"
+	"repro/internal/stats"
+)
+
+// Deadline-experiment trace parameters: a 120-job seeded multi-user stream
+// on the EPXA4, long enough that the nearest-rank p99 latency measures the
+// tail cluster rather than the single worst job.
+const (
+	DeadlineJobs      = 120
+	DeadlineSeed      = int64(4242)
+	DeadlineMeanGapPs = 0.25e9 // 0.25 ms between arrivals on average
+)
+
+// DeadlineTrace returns the experiment's canonical job stream with
+// service-level budgets at the given slack factor.
+func DeadlineTrace(budgetFactor float64) []rcsched.Job {
+	jobs, err := rcsched.Trace(DeadlineJobs, DeadlineSeed, DeadlineMeanGapPs)
+	if err != nil {
+		panic(err) // the pinned parameters are valid by construction
+	}
+	rcsched.SetBudgets(jobs, budgetFactor)
+	return jobs
+}
+
+// deadlineLabel names one cell of the sweep.
+func deadlineLabel(policy string, stage bool) string {
+	if stage {
+		return policy + "+stage"
+	}
+	return policy
+}
+
+// RunDeadline regenerates the deadline-aware serving experiment: the
+// 120-job stream is served under the deadline policies with and without
+// pre-staged reconfiguration, swept over the configuration-port bandwidth,
+// the service-level budget factor and the slot count. The headline
+// comparison is slack+staging against the plain bitstream-affinity
+// scheduler on a slow configuration port.
+func RunDeadline() (*Result, error) {
+	series := map[string]float64{}
+	run := func(policy string, stage bool, slots int, bw, budget float64) (*rcsched.Report, error) {
+		return rcsched.Serve(rcsched.Config{
+			Policy:   policy,
+			Slots:    slots,
+			ConfigBW: bw,
+			Stage:    stage,
+		}, DeadlineTrace(budget))
+	}
+	record := func(label string, rep *rcsched.Report) {
+		series["p99_ms/"+label] = rep.P99LatencyPs / 1e9
+		series["miss_rate/"+label] = rep.MissRate
+		series["mean_latency_ms/"+label] = rep.MeanLatencyPs / 1e9
+		series["reconfig_ms/"+label] = rep.TotalReconfigPs / 1e9
+		series["stage_commits/"+label] = float64(rep.StageCommits)
+	}
+
+	polTb := &stats.Table{
+		Title: fmt.Sprintf("deadline serving, %d mixed jobs on EPXA4: policy x pre-staging (2 slots, config port 250 KB/s, budget factor 1)",
+			DeadlineJobs),
+		Headers: []string{"policy", "staging", "p99 ms", "miss rate", "mean latency ms",
+			"reconfigs", "stage commits", "config ms", "makespan ms"},
+	}
+	for _, policy := range []string{"affinity", "edf", "slack"} {
+		for _, stage := range []bool{false, true} {
+			rep, err := run(policy, stage, 2, 250_000, 1)
+			if err != nil {
+				return nil, err
+			}
+			staging := "off"
+			if stage {
+				staging = "on"
+			}
+			label := deadlineLabel(policy, stage)
+			polTb.AddRow(policy, staging,
+				ms(rep.P99LatencyPs), fmt.Sprintf("%.2f", rep.MissRate), ms(rep.MeanLatencyPs),
+				fmt.Sprintf("%d", rep.Reconfigs), fmt.Sprintf("%d", rep.StageCommits),
+				ms(rep.TotalReconfigPs), ms(rep.MakespanPs))
+			record(label, rep)
+		}
+	}
+
+	bwTb := &stats.Table{
+		Title:   "the same stream: slack+staging vs plain affinity across the configuration-port bandwidth (2 slots)",
+		Headers: []string{"policy", "config BW KB/s", "p99 ms", "miss rate", "reconfigs", "config ms"},
+	}
+	for _, bw := range []float64{250_000, 1_000_000, 4_000_000} {
+		for _, c := range []struct {
+			policy string
+			stage  bool
+		}{{"affinity", false}, {"slack", true}} {
+			rep, err := run(c.policy, c.stage, 2, bw, 1)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s/%dKBps", deadlineLabel(c.policy, c.stage), int(bw)/1000)
+			bwTb.AddRow(deadlineLabel(c.policy, c.stage), fmt.Sprintf("%d", int(bw)/1000),
+				ms(rep.P99LatencyPs), fmt.Sprintf("%.2f", rep.MissRate),
+				fmt.Sprintf("%d", rep.Reconfigs), ms(rep.TotalReconfigPs))
+			series["p99_ms/"+label] = rep.P99LatencyPs / 1e9
+			series["miss_rate/"+label] = rep.MissRate
+		}
+	}
+
+	budTb := &stats.Table{
+		Title:   "the same stream: miss rate across the service-level budget factor (2 slots, 250 KB/s)",
+		Headers: []string{"policy", "budget factor", "p99 ms", "miss rate", "misses"},
+	}
+	for _, budget := range []float64{0.5, 1, 2} {
+		for _, c := range []struct {
+			policy string
+			stage  bool
+		}{{"affinity", false}, {"slack", true}} {
+			rep, err := run(c.policy, c.stage, 2, 250_000, budget)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s/b%g", deadlineLabel(c.policy, c.stage), budget)
+			budTb.AddRow(deadlineLabel(c.policy, c.stage), fmt.Sprintf("%g", budget),
+				ms(rep.P99LatencyPs), fmt.Sprintf("%.2f", rep.MissRate), fmt.Sprintf("%d", rep.Misses))
+			series["miss_rate/"+label] = rep.MissRate
+		}
+	}
+
+	slotTb := &stats.Table{
+		Title:   "the same stream: slack+staging across the slot count (250 KB/s, budget factor 1)",
+		Headers: []string{"slots", "p99 ms", "miss rate", "makespan ms", "utilisation"},
+	}
+	for _, slots := range []int{1, 2, 4} {
+		rep, err := run("slack", true, slots, 250_000, 1)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("slack+stage/%dslots", slots)
+		slotTb.AddRow(fmt.Sprintf("%d", slots), ms(rep.P99LatencyPs),
+			fmt.Sprintf("%.2f", rep.MissRate), ms(rep.MakespanPs), fmt.Sprintf("%.2f", rep.UtilMean))
+		series["p99_ms/"+label] = rep.P99LatencyPs / 1e9
+		series["miss_rate/"+label] = rep.MissRate
+	}
+
+	return &Result{
+		ID:     "DEADLINE",
+		Title:  "Deadline-aware serving with pre-staged reconfiguration",
+		Tables: []*stats.Table{polTb, bwTb, budTb, slotTb},
+		Notes: []string{
+			"every job carries a per-app service-level deadline (arrival + budget factor x (fixed allowance + modelled execution estimate))",
+			"pre-staging DMAs the next bitstream into a busy slot's staging buffer while the resident core executes; the swap then costs a fixed commit window instead of the full configuration stream",
+			"slack takes the cheap resident/staged match unless that would make an urgent job miss a deadline it could still meet; plain EDF collapses under overload by paying every reconfiguration",
+			"the slower the configuration port, the larger the lead of slack+staging over plain affinity",
+		},
+		Series: series,
+	}, nil
+}

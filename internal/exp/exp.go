@@ -54,6 +54,7 @@ func All() []Experiment {
 		{ID: "CHUNK", Title: "Ablation: hand-chunked baseline vs VIM (Figure 3)", Run: RunChunkAblation},
 		{ID: "SESSIONS", Title: "Multi-coprocessor sessions behind one VIM (partition split sweep)", Run: RunSessions},
 		{ID: "SERVE", Title: "Dynamic reconfiguration scheduler: multi-user job serving (policy x slots x config bandwidth)", Run: RunServe},
+		{ID: "DEADLINE", Title: "Deadline-aware serving with pre-staged reconfiguration (policy x staging x bandwidth x budget)", Run: RunDeadline},
 	}
 }
 

@@ -199,10 +199,44 @@ func TestFig3Shape(t *testing.T) {
 	}
 }
 
+func TestDeadlineShape(t *testing.T) {
+	res := run(t, "DEADLINE")
+	// The headline acceptance property: slack with pre-staging strictly
+	// lowers p99 latency and deadline miss-rate against the PR-4 affinity
+	// scheduler on the slow configuration port.
+	if !(res.Series["p99_ms/slack+stage"] < res.Series["p99_ms/affinity"]) {
+		t.Errorf("slack+staging p99 %.3f ms not below plain affinity's %.3f ms",
+			res.Series["p99_ms/slack+stage"], res.Series["p99_ms/affinity"])
+	}
+	if !(res.Series["miss_rate/slack+stage"] < res.Series["miss_rate/affinity"]) {
+		t.Errorf("slack+staging miss rate %.3f not below plain affinity's %.3f",
+			res.Series["miss_rate/slack+stage"], res.Series["miss_rate/affinity"])
+	}
+	// Pre-staging must actually fire and must cut full reconfigurations
+	// for every policy that runs with it.
+	for _, p := range []string{"affinity", "edf", "slack"} {
+		if res.Series["stage_commits/"+p+"+stage"] == 0 {
+			t.Errorf("%s+stage never committed a pre-staged bitstream", p)
+		}
+		if !(res.Series["reconfig_ms/"+p+"+stage"] < res.Series["reconfig_ms/"+p]) {
+			t.Errorf("%s+stage config time %.3f ms not below %.3f ms without staging",
+				p, res.Series["reconfig_ms/"+p+"+stage"], res.Series["reconfig_ms/"+p])
+		}
+	}
+	// Pinned-stream property, not a theorem: deadlines feed the slack
+	// policy's decisions, so a different budget factor yields a different
+	// schedule — but on this pinned stream looser budgets do lower the
+	// miss rate, and a break here means the pinned fixture drifted.
+	if !(res.Series["miss_rate/slack+stage/b2"] <= res.Series["miss_rate/slack+stage/b1"] &&
+		res.Series["miss_rate/slack+stage/b1"] <= res.Series["miss_rate/slack+stage/b0.5"]) {
+		t.Error("slack+stage miss rate no longer monotone in the budget factor on the pinned stream (fixture drift?)")
+	}
+}
+
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"FIG3", "FIG7", "FIG8", "FIG9", "OVERHEAD", "PORT",
 		"POLICY", "BOUNCE", "PIPELINE", "PREFETCH", "PAGESIZE", "CHUNK",
-		"SESSIONS", "SERVE"}
+		"SESSIONS", "SERVE", "DEADLINE"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

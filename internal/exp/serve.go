@@ -15,9 +15,14 @@ const (
 	ServeMeanGapPs = 0.15e9 // 0.15 ms between arrivals on average
 )
 
-// ServeTrace returns the experiment's canonical job stream.
+// ServeTrace returns the experiment's canonical job stream (deadlines at
+// the default service-level budget; re-derive with rcsched.SetBudgets).
 func ServeTrace() []rcsched.Job {
-	return rcsched.Trace(ServeJobs, ServeSeed, ServeMeanGapPs)
+	jobs, err := rcsched.Trace(ServeJobs, ServeSeed, ServeMeanGapPs)
+	if err != nil {
+		panic(err) // the pinned parameters are valid by construction
+	}
+	return jobs
 }
 
 // RunServe regenerates the dynamic-reconfiguration serving experiment: the

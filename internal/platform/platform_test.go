@@ -92,3 +92,76 @@ func TestAssembleValidatesClocks(t *testing.T) {
 		t.Fatal("equal clocks should share one domain")
 	}
 }
+
+// TestSlotStagingBuffer pins the pre-staged reconfiguration primitives: a
+// bitstream staged behind a resident core leaves the slot's ticking and
+// identity untouched, CommitSlot swaps it in and rebinds the IMU channel,
+// TakeStage empties the buffer, and CancelStage discards a stage without
+// disturbing the resident core.
+func TestSlotStagingBuffer(t *testing.T) {
+	b, err := NewBoard(EPXA1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := b.AssembleShell(24_000_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw.LoadSlot(b, 0, vecadd.New())
+	if got := hw.Slots[0].Resident(); got != "vecadd" {
+		t.Fatalf("resident = %q, want vecadd", got)
+	}
+
+	// An empty slot has an empty staging buffer; committing it is an error.
+	if got := hw.Slots[0].Staged(); got != "" {
+		t.Fatalf("fresh slot stages %q", got)
+	}
+	if err := hw.CommitSlot(b, 0); err == nil {
+		t.Fatal("CommitSlot with an empty staging buffer succeeded")
+	}
+
+	// Staging does not disturb the resident core.
+	staged := vecadd.New()
+	hw.Slots[0].Stage(staged)
+	if got := hw.Slots[0].Resident(); got != "vecadd" {
+		t.Fatalf("staging evicted the resident core: resident = %q", got)
+	}
+	if got := hw.Slots[0].Staged(); got != "vecadd" {
+		t.Fatalf("staged = %q, want vecadd", got)
+	}
+
+	// Cancel discards only the buffer.
+	hw.Slots[0].CancelStage()
+	if got := hw.Slots[0].Staged(); got != "" {
+		t.Fatalf("cancel left %q staged", got)
+	}
+	if hw.Slots[0].Core() == nil {
+		t.Fatal("cancel dropped the resident core")
+	}
+
+	// Commit swaps the staged core in as resident over a fresh port.
+	hw.Slots[0].Stage(staged)
+	oldPort := hw.Slots[0].Port()
+	if err := hw.CommitSlot(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if hw.Slots[0].Core() != staged {
+		t.Fatal("commit did not make the staged core resident")
+	}
+	if hw.Slots[0].Staged() != "" {
+		t.Fatal("commit left the staging buffer full")
+	}
+	if hw.Slots[0].Port() == oldPort {
+		t.Fatal("commit reused the evicted core's port")
+	}
+
+	// TakeStage empties the buffer and hands the core back.
+	other := vecadd.New()
+	hw.Slots[1].Stage(other)
+	if got := hw.Slots[1].TakeStage(); got != other {
+		t.Fatalf("TakeStage returned %v", got)
+	}
+	if got := hw.Slots[1].TakeStage(); got != nil {
+		t.Fatalf("second TakeStage returned %v, want nil", got)
+	}
+}

@@ -19,6 +19,12 @@ type Slot struct {
 	port *copro.Port
 	core copro.Coprocessor
 	bulk sim.BulkIdler // resident core's bulk-idle view, nil if not offered
+
+	// staged is the slot's staging buffer: a coprocessor whose bitstream
+	// the configuration port has DMA'd in behind the resident core's back.
+	// It takes no part in ticking — the buffer is passive configuration
+	// memory — until CommitSlot swaps it in for the resident core.
+	staged copro.Coprocessor
 }
 
 // Resident returns the loaded coprocessor's name, or "" while the slot is
@@ -50,11 +56,42 @@ func (s *Slot) Load(core copro.Coprocessor, port *copro.Port) {
 
 // Unload empties the slot (partial reconfiguration begins). Engine must be
 // paused; unbind the IMU channel as well so the stale port is dropped on
-// both sides.
+// both sides. The staging buffer is untouched — a pre-staged bitstream
+// survives the resident core's eviction.
 func (s *Slot) Unload() {
 	s.core = nil
 	s.port = nil
 	s.bulk = nil
+}
+
+// Stage places a coprocessor into the slot's staging buffer while the
+// resident core (if any) keeps executing undisturbed. The caller models
+// the configuration-port DMA time; the buffer itself is timeless.
+func (s *Slot) Stage(core copro.Coprocessor) {
+	s.staged = core
+}
+
+// Staged returns the staged coprocessor's name, or "" while the staging
+// buffer is empty.
+func (s *Slot) Staged() string {
+	if s.staged == nil {
+		return ""
+	}
+	return s.staged.Name()
+}
+
+// TakeStage empties the staging buffer and returns its coprocessor (nil if
+// none was staged).
+func (s *Slot) TakeStage() copro.Coprocessor {
+	core := s.staged
+	s.staged = nil
+	return core
+}
+
+// CancelStage discards the staged bitstream (the job it was staged for went
+// elsewhere); the resident core is untouched.
+func (s *Slot) CancelStage() {
+	s.staged = nil
 }
 
 // Eval implements sim.Ticker by delegating to the resident core.
@@ -146,4 +183,19 @@ func (hw *ShellHW) LoadSlot(b *Board, i int, core copro.Coprocessor) {
 func (hw *ShellHW) UnloadSlot(b *Board, i int) {
 	hw.Slots[i].Unload()
 	b.IMU.UnbindCh(i)
+}
+
+// CommitSlot swaps slot i's staged coprocessor in for the resident one:
+// the old core is dropped, the staged core becomes resident over a fresh
+// port and the IMU channel rebinds to it. The caller models the fixed
+// commit latency — the double-buffered configuration swap, not a
+// configuration-port stream. Engine must be paused.
+func (hw *ShellHW) CommitSlot(b *Board, i int) error {
+	core := hw.Slots[i].TakeStage()
+	if core == nil {
+		return fmt.Errorf("platform: slot %d has no staged coprocessor to commit", i)
+	}
+	hw.UnloadSlot(b, i)
+	hw.LoadSlot(b, i, core)
+	return nil
 }

@@ -1,0 +1,76 @@
+package rcsched
+
+import (
+	"repro/internal/copro/adpcmdec"
+	"repro/internal/copro/ideacp"
+)
+
+// The scheduler's work model. A job's input size alone is a poor estimate
+// of its service demand: an ADPCM job moves five bytes through the
+// coprocessor port for every input byte (one packed code byte in, four PCM
+// bytes out) and burns DecodeCycles per nibble, while an IDEA job of the
+// same input size moves two bytes and occupies the cipher pipeline for
+// ComputeCycles per 8-byte block. The weights below fold both the port
+// traffic and the calibrated compute occupancy of each core model into a
+// per-input-byte cost, expressed in eighths of a shell cycle so the
+// fractional per-byte compute shares stay exact integers.
+
+// costWeight is app's modelled cost per input byte in eighth shell cycles:
+// 8 x (translated bytes moved per input byte) + (compute cycles per input
+// byte, times 8).
+func costWeight(app string) int64 {
+	switch app {
+	case "idea":
+		// 1 B in + 1 B out per input byte; ComputeCycles per 8-byte block.
+		return 8*2 + ideacp.ComputeCycles
+	case "adpcm":
+		// 1 B in + 4 B out per input byte; two nibbles at DecodeCycles each.
+		return 8*5 + 8*2*adpcmdec.DecodeCycles
+	case "vecadd":
+		// Size is per-vector bytes: 2 B in + 1 B out per vector byte; one
+		// add per 4-byte element.
+		return 8*3 + 8/4
+	}
+	// Unknown applications fall back to raw traffic of one byte per byte,
+	// reducing to the old size ranking.
+	return 8
+}
+
+// Cost returns the job's modelled service demand in eighth shell cycles —
+// the quantity SJF ranks by and the deadline policies estimate with.
+func (j *Job) Cost() int64 { return int64(j.Size) * costWeight(j.App) }
+
+// ExecEstPs converts a job's modelled cost into picoseconds at the given
+// shell clock. It deliberately ignores paging and fault service — it is a
+// ranking and admission estimate, not a simulation.
+func ExecEstPs(app string, size int, shellHz int64) float64 {
+	cost := (&Job{App: app, Size: size}).Cost()
+	return float64(cost) / 8 * 1e12 / float64(shellHz)
+}
+
+// BaseBudgetPs is the fixed scheduling allowance inside every service-level
+// budget: headroom for queueing and configuration-port time that even the
+// smallest job needs before its own execution starts, sized so the pinned
+// saturated streams produce a mixed (neither empty nor total) miss
+// population at DefaultBudgetFactor.
+const BaseBudgetPs = 8e9 // 8 ms
+
+// DefaultBudgetFactor scales the per-app service-level budget jobs receive
+// from Trace; SetBudgets re-derives deadlines at another factor.
+const DefaultBudgetFactor = 1.0
+
+// BudgetPs is the service-level budget of one (app, size) request at the
+// given slack factor: factor x (BaseBudgetPs + the modelled execution
+// estimate at the default shell clock).
+func BudgetPs(app string, size int, factor float64) float64 {
+	return factor * (BaseBudgetPs + ExecEstPs(app, size, DefaultShellHz))
+}
+
+// SetBudgets re-derives every job's deadline as arrival plus its per-app
+// service-level budget at the given slack factor, so one generated trace
+// can be served under several service objectives.
+func SetBudgets(jobs []Job, factor float64) {
+	for i := range jobs {
+		jobs[i].DeadlinePs = jobs[i].ArrivalPs + BudgetPs(jobs[i].App, jobs[i].Size, factor)
+	}
+}

@@ -14,22 +14,34 @@ import (
 // Job is one unit of the multi-user stream: a user asking for application
 // App over Size bytes of fresh input, arriving at ArrivalPs on the serving
 // clock. Seed drives the job's input data, so a trace replays bit-for-bit.
+// DeadlinePs is the job's service-level objective — the instant by which it
+// should complete (arrival plus a per-app budget; 0 means no deadline);
+// the deadline-aware policies schedule against it and Report measures
+// lateness and miss-rate from it.
 type Job struct {
-	ID        int
-	App       string // "idea" | "adpcm" | "vecadd"
-	Size      int    // input bytes (whole IDEA blocks enforced by Trace)
-	ArrivalPs float64
-	Seed      int64
+	ID         int
+	App        string // "idea" | "adpcm" | "vecadd"
+	Size       int    // input bytes (whole IDEA blocks enforced by Trace)
+	ArrivalPs  float64
+	DeadlinePs float64
+	Seed       int64
 
 	coreName string // bitstream identity, resolved at admission
 }
 
 // Trace generates a deterministic n-job stream: arrival gaps are uniform in
 // (0, 2·meanGapPs), applications and input sizes are drawn from the bundled
-// mix (IDEA / ADPCM / vecadd over 1–4 KB), and every job carries its own
-// data seed. The same (n, seed, meanGapPs) triple always yields the same
-// stream.
-func Trace(n int, seed int64, meanGapPs float64) []Job {
+// mix (IDEA / ADPCM / vecadd over 1–4 KB), every job carries its own data
+// seed, and deadlines are assigned per app at DefaultBudgetFactor
+// (re-derive with SetBudgets). The same (n, seed, meanGapPs) triple always
+// yields the same stream. n must be positive and meanGapPs non-negative.
+func Trace(n int, seed int64, meanGapPs float64) ([]Job, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rcsched: trace needs a positive job count, got %d", n)
+	}
+	if meanGapPs < 0 {
+		return nil, fmt.Errorf("rcsched: negative mean arrival gap %g ps", meanGapPs)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	apps := []string{"idea", "adpcm", "vecadd"}
 	sizes := []int{1024, 2048, 4096}
@@ -45,7 +57,8 @@ func Trace(n int, seed int64, meanGapPs float64) []Job {
 			Seed:      rng.Int63(),
 		}
 	}
-	return jobs
+	SetBudgets(jobs, DefaultBudgetFactor)
+	return jobs, nil
 }
 
 // objSpec is one FPGA_MAP_OBJECT call a job needs.

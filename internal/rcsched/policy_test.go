@@ -1,0 +1,172 @@
+package rcsched
+
+import "testing"
+
+// TestSJFRanksByModelledCost is the regression test for the SJF misranking
+// bugfix: the policy must rank by the modelled per-app cost, not the raw
+// input size. An ADPCM job does ~4x the output traffic of an IDEA job of
+// the same input size (and holds its core far longer per byte), so on this
+// queue the raw-size ranking picks the 1 KB ADPCM job even though the 2 KB
+// IDEA job is ~5x cheaper — the pre-fix code fails here.
+func TestSJFRanksByModelledCost(t *testing.T) {
+	queue := []*Job{
+		{ID: 0, App: "adpcm", Size: 1024, coreName: "adpcmdec"},
+		{ID: 1, App: "idea", Size: 2048, coreName: "idea"},
+	}
+	if queue[0].Cost() <= queue[1].Cost() {
+		t.Fatalf("cost model broken: adpcm-1024 cost %d not above idea-2048 cost %d",
+			queue[0].Cost(), queue[1].Cost())
+	}
+	slots := []SlotState{{Free: true}}
+	j, _, ok := (SJF{}).Pick(queue, slots, nil)
+	if !ok || j != 1 {
+		t.Fatalf("SJF picked queue[%d] (ok=%v), want the cheaper idea-2048 at queue[1]", j, ok)
+	}
+
+	// Exact cost ties keep arrival order: 104 B of IDEA and 112 B of
+	// vecadd both cost 2912 eighth-cycles.
+	tie := []*Job{
+		{ID: 0, App: "idea", Size: 104, coreName: "idea"},
+		{ID: 1, App: "vecadd", Size: 112, coreName: "vecadd"},
+	}
+	if tie[0].Cost() != tie[1].Cost() {
+		t.Fatalf("tie fixture out of date: costs %d vs %d", tie[0].Cost(), tie[1].Cost())
+	}
+	if j, _, ok := (SJF{}).Pick(tie, slots, nil); !ok || j != 0 {
+		t.Fatalf("SJF tie-break picked queue[%d], want arrival order (queue[0])", j)
+	}
+}
+
+// TestChooseFree pins the single free-slot scan's explicit preference
+// order: resident match > staged match > empty slot > any free slot, with
+// the lowest index winning inside each kind and -1 when nothing is free.
+func TestChooseFree(t *testing.T) {
+	cases := []struct {
+		name  string
+		slots []SlotState
+		want  string
+		slot  int
+		kind  matchKind
+	}{
+		{"empty beats resident", []SlotState{
+			{Free: true, Resident: "vecadd"},
+			{Free: true, Resident: ""},
+		}, "idea", 1, matchEmpty},
+		{"resident match beats empty", []SlotState{
+			{Free: true, Resident: ""},
+			{Free: true, Resident: "idea"},
+		}, "idea", 1, matchResident},
+		{"staged match beats empty", []SlotState{
+			{Free: true, Resident: ""},
+			{Free: true, Resident: "vecadd", Staged: "idea"},
+		}, "idea", 1, matchStaged},
+		{"resident beats staged", []SlotState{
+			{Free: true, Resident: "vecadd", Staged: "idea"},
+			{Free: true, Resident: "idea"},
+		}, "idea", 1, matchResident},
+		{"all busy", []SlotState{
+			{Free: false, Resident: "idea"},
+			{Free: false},
+		}, "idea", -1, matchNone},
+		{"multi-match determinism: lowest index", []SlotState{
+			{Free: true, Resident: "idea"},
+			{Free: true, Resident: "idea"},
+		}, "idea", 0, matchResident},
+		{"multi-empty determinism", []SlotState{
+			{Free: false},
+			{Free: true},
+			{Free: true},
+		}, "idea", 1, matchEmpty},
+		{"no preference without a want", []SlotState{
+			{Free: true, Resident: "vecadd"},
+			{Free: true, Resident: "idea"},
+		}, "", 0, matchAny},
+	}
+	for _, c := range cases {
+		slot, kind := chooseFree(c.slots, c.want)
+		if slot != c.slot || kind != c.kind {
+			t.Errorf("%s: chooseFree = (%d, %d), want (%d, %d)", c.name, slot, kind, c.slot, c.kind)
+		}
+	}
+}
+
+// TestEDFPick pins the earliest-deadline-first dispatch order, including
+// the tie and no-deadline rules.
+func TestEDFPick(t *testing.T) {
+	queue := []*Job{
+		{ID: 0, App: "idea", Size: 1024, DeadlinePs: 9e9, coreName: "idea"},
+		{ID: 1, App: "vecadd", Size: 1024, DeadlinePs: 3e9, coreName: "vecadd"},
+		{ID: 2, App: "adpcm", Size: 1024, DeadlinePs: 3e9, coreName: "adpcmdec"},
+	}
+	slots := []SlotState{{Free: true, Resident: "idea"}}
+	if j, s, ok := (EDF{}).Pick(queue, slots, nil); !ok || j != 1 || s != 0 {
+		t.Fatalf("EDF picked (%d,%d,%v), want the earliest deadline with arrival tie-break", j, s, ok)
+	}
+	// Jobs without a deadline run after every deadlined job.
+	queue = []*Job{
+		{ID: 0, App: "idea", Size: 1024, coreName: "idea"},
+		{ID: 1, App: "vecadd", Size: 1024, DeadlinePs: 30e9, coreName: "vecadd"},
+	}
+	if j, _, ok := (EDF{}).Pick(queue, slots, nil); !ok || j != 1 {
+		t.Fatalf("EDF picked queue[%d], want the only deadlined job", j)
+	}
+}
+
+// TestSlackPick pins the deadline-aware affinity decisions: take the cheap
+// resident/staged match, except when that would make an urgent job miss a
+// deadline it could still meet — and never sacrifice the match for a job
+// that is already doomed.
+func TestSlackPick(t *testing.T) {
+	est := func(j *Job) float64 { return float64(j.Cost()) / 8 * 41666.0 } // ~24 MHz
+	ctx := &PickCtx{
+		NowPs:      0,
+		ExecEstPs:  est,
+		ReconfigPs: func(*Job) float64 { return 2e9 },
+	}
+	slots := []SlotState{{Free: true, Resident: "vecadd"}}
+
+	// Cheap match with no urgency conflict: the vecadd job dispatches even
+	// though the idea job arrived first.
+	queue := []*Job{
+		{ID: 0, App: "idea", Size: 1024, DeadlinePs: 60e9, coreName: "idea"},
+		{ID: 1, App: "vecadd", Size: 1024, DeadlinePs: 50e9, coreName: "vecadd"},
+	}
+	if j, s, ok := (Slack{}).Pick(queue, slots, ctx); !ok || j != 1 || s != 0 {
+		t.Fatalf("slack picked (%d,%d,%v), want the zero-config vecadd match", j, s, ok)
+	}
+
+	// Urgent and savable: the idea job's deadline cannot survive waiting
+	// behind the big vecadd job (est ~4.4 ms + reconfig 2 ms + exec
+	// ~0.15 ms > 3 ms), but dispatched now it meets it — affinity yields.
+	queue = []*Job{
+		{ID: 0, App: "idea", Size: 1024, DeadlinePs: 3e9, coreName: "idea"},
+		{ID: 1, App: "vecadd", Size: 1024 * 1024, DeadlinePs: 50e9, coreName: "vecadd"},
+	}
+	if j, _, ok := (Slack{}).Pick(queue, slots, ctx); !ok || j != 0 {
+		t.Fatalf("slack picked queue[%d], want the urgent idea job over the cheap match", j)
+	}
+
+	// Urgent but doomed (deadline already unmeetable even if dispatched
+	// now): do not trigger the reconfiguration, keep the cheap match.
+	queue[0].DeadlinePs = 1e9 // < reconfig alone
+	if j, _, ok := (Slack{}).Pick(queue, slots, ctx); !ok || j != 1 {
+		t.Fatalf("slack picked queue[%d], want the cheap match over a doomed job", j)
+	}
+
+	// Among several cheap matches, the most urgent one dispatches.
+	slots = []SlotState{{Free: true, Resident: "vecadd"}, {Free: true, Resident: "idea"}}
+	queue = []*Job{
+		{ID: 0, App: "vecadd", Size: 1024, DeadlinePs: 50e9, coreName: "vecadd"},
+		{ID: 1, App: "idea", Size: 1024, DeadlinePs: 5e9, coreName: "idea"},
+	}
+	if j, s, ok := (Slack{}).Pick(queue, slots, ctx); !ok || j != 1 || s != 1 {
+		t.Fatalf("slack picked (%d,%d,%v), want the more urgent of the two cheap matches", j, s, ok)
+	}
+
+	// A staged match counts as cheap.
+	slots = []SlotState{{Free: true, Resident: "vecadd", Staged: "idea"}}
+	queue = []*Job{{ID: 0, App: "idea", Size: 1024, DeadlinePs: 50e9, coreName: "idea"}}
+	if j, s, ok := (Slack{}).Pick(queue, slots, ctx); !ok || j != 0 || s != 0 {
+		t.Fatalf("slack picked (%d,%d,%v), want the staged match", j, s, ok)
+	}
+}

@@ -3,9 +3,15 @@
 // spirit of FOS and SYNERGY. It owns a fixed set of shell slots with a
 // modelled partial-reconfiguration latency (derived from each coprocessor's
 // bitstream size and a configurable configuration-port bandwidth), an
-// admission queue of timestamped multi-user jobs, and pluggable scheduling
-// policies (FCFS, shortest-job-first, and bitstream-affinity, which avoids
-// reconfiguration by reusing resident coprocessors).
+// admission queue of timestamped multi-user jobs carrying per-app
+// service-level deadlines, and pluggable scheduling policies: FCFS,
+// shortest-job-first (ranked by the calibrated cost model), bitstream-
+// affinity (avoids reconfiguration by reusing resident coprocessors),
+// earliest-deadline-first, and slack (deadline-aware affinity). With
+// pre-staged reconfiguration enabled, the configuration port DMAs the next
+// queued job's bitstream into a busy slot's staging buffer while the
+// resident core executes, so the eventual swap costs a fixed commit window
+// instead of the full stream.
 //
 // Serve drives the live core.Gang shell loop: sessions attach as jobs
 // dispatch, coprocessors load and unload while their neighbours keep
@@ -39,21 +45,34 @@ const DefaultShellHz = 24_000_000
 // used to turn a bitstream's size into partial-reconfiguration time.
 const DefaultConfigBW = 1_000_000
 
+// StageCommitCycles is the fixed cost, in shell cycles, of committing a
+// pre-staged bitstream into its slot: the double-buffered configuration
+// swap plus the channel rebind — a few microseconds at the default shell
+// clock, against the milliseconds a full configuration stream takes.
+const StageCommitCycles = 64
+
 // Config parameterises one serving run.
 type Config struct {
 	// Board is "EPXA1", "EPXA4" (default) or "EPXA10".
 	Board string
-	// Slots is the number of shell slots (default 2).
+	// Slots is the number of shell slots; it must be positive.
 	Slots int
 	// ShellHz is the shared shell clock (default DefaultShellHz).
 	ShellHz int64
-	// Policy is the scheduling policy: "fcfs" (default), "sjf" or
-	// "affinity".
+	// Policy is the scheduling policy: "fcfs" (default), "sjf",
+	// "affinity", "edf" or "slack".
 	Policy string
 	// ConfigBW is the configuration-port bandwidth in bytes/second
 	// (default DefaultConfigBW); a slot reconfiguration takes
 	// len(bitstream)/ConfigBW seconds.
 	ConfigBW float64
+	// Stage enables pre-staged reconfiguration: while every slot is busy,
+	// the configuration port DMAs the next queued job's bitstream into the
+	// soonest-to-finish slot's staging buffer (one transfer in flight, at
+	// ConfigBW), so a matching dispatch later pays only StageCommitCycles
+	// instead of the full stream. With Stage false the serving loop is
+	// bit-identical to the pre-staging scheduler.
+	Stage bool
 	// FramesPerSlot sizes each session's home partition (0 = page pool
 	// divided evenly across slots).
 	FramesPerSlot int
@@ -70,13 +89,17 @@ type JobReport struct {
 	Slot int
 
 	ArrivalPs   float64
+	DeadlinePs  float64 // service-level objective (0 = none)
 	QueueWaitPs float64 // arrival -> dispatch decision
-	ReconfigPs  float64 // configuration-port time paid before launch
+	ReconfigPs  float64 // critical-path configuration time paid before launch
 	ExecPs      float64 // launch -> completion (fault service included)
 	LatencyPs   float64 // arrival -> completion
+	LatenessPs  float64 // completion - deadline (negative = early; 0 without a deadline)
 	DonePs      float64
 
-	Reconfigured bool
+	Reconfigured bool   // the slot's core changed for this job
+	Staged       bool   // ... via a pre-staged commit rather than a full stream
+	Missed       bool   // finished after its deadline
 	Faults       uint64 // the job session's translation faults
 }
 
@@ -95,6 +118,17 @@ type Report struct {
 	Reconfigs       int
 	MeanWaitPs      float64
 	MeanLatencyPs   float64
+
+	// P99LatencyPs is the nearest-rank 99th-percentile job latency;
+	// Misses/MissRate count jobs that finished after their deadline, over
+	// the jobs that carry one. StageCommits and StageCancels count
+	// pre-staged bitstreams that were swapped in, respectively discarded
+	// because their job dispatched elsewhere.
+	P99LatencyPs float64
+	Misses       int
+	MissRate     float64
+	StageCommits int
+	StageCancels int
 
 	// SlotBusyPs is each slot's occupied time (reconfiguration + execution);
 	// UtilMean is the mean busy fraction of the makespan across slots.
@@ -152,6 +186,9 @@ type slotRun struct {
 	mb            *core.Member
 	job           int   // dispatched job index (valid while mb != nil or reconfiguring)
 	reconfigUntil int64 // shell cycle at which reconfiguration completes; -1 idle
+	stageReady    int64 // shell cycle at which the staging DMA completes; -1 none in flight
+	stageCommit   bool  // the pending reconfigUntil is a staged commit, not a stream
+	stagedHit     bool  // the current job attached via a staged commit
 	dispatchPs    float64
 	startPs       float64
 	reconfigPs    float64
@@ -169,11 +206,8 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	if cfg.Board == "" {
 		cfg.Board = "EPXA4"
 	}
-	if cfg.Slots == 0 {
-		cfg.Slots = 2
-	}
-	if cfg.Slots < 0 {
-		return nil, fmt.Errorf("rcsched: %d slots", cfg.Slots)
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("rcsched: shell needs a positive slot count, got %d", cfg.Slots)
 	}
 	if cfg.ShellHz == 0 {
 		cfg.ShellHz = DefaultShellHz
@@ -267,12 +301,21 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	slots := make([]slotRun, cfg.Slots)
 	for i := range slots {
 		slots[i].reconfigUntil = -1
+		slots[i].stageReady = -1
 	}
 	queue := []int{} // indices into order, admission order
 	nextArrival := 0
 	completed := 0
 	budget := cfg.Budget
 	irq := board.IMU.IRQRef()
+
+	// estPs is the policy-visible execution estimate from the calibrated
+	// cost model (the same ExecEstPs that derives deadline budgets, so the
+	// estimate has a single definition); stageSlot is the one slot (if
+	// any) holding an uncommitted pre-staged bitstream — the configuration
+	// port runs a single staging DMA at a time.
+	estPs := func(j *Job) float64 { return ExecEstPs(j.App, j.Size, cfg.ShellHz) }
+	stageSlot := -1
 
 	// launch attaches job j's session onto slot s and starts it.
 	launch := func(s, j int) error {
@@ -306,10 +349,20 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 		}
 
 		// Complete due reconfigurations: the slot's new coprocessor is
-		// configured, attach and start the waiting job.
+		// configured — or its staged bitstream's commit window has elapsed,
+		// in which case the stage swaps in now — attach and start the
+		// waiting job.
 		for s := range slots {
 			if slots[s].reconfigUntil >= 0 && slots[s].reconfigUntil <= now {
 				slots[s].reconfigUntil = -1
+				if slots[s].stageCommit {
+					slots[s].stageCommit = false
+					slots[s].stageReady = -1
+					stageSlot = -1 // buffer consumed; the port is free again
+					if err := g.CommitStage(s); err != nil {
+						return nil, err
+					}
+				}
 				if err := launch(s, slots[s].job); err != nil {
 					return nil, err
 				}
@@ -357,19 +410,38 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 
 		// Dispatch: keep pairing queued jobs with free slots until the
 		// policy declines.
-		for len(queue) > 0 {
+		ctx := &PickCtx{
+			NowPs:     eng.NowPs(),
+			ExecEstPs: estPs,
+			ReconfigPs: func(j *Job) float64 {
+				return float64(reconfigEdges(apps[j.App].img)) * periodPs
+			},
+		}
+		// slotStates is the policy's view: a staging DMA still in flight is
+		// invisible (advertising it would let a policy mistake a
+		// barely-started transfer for a cheap dispatch), but the scheduler
+		// itself still commits a partial transfer when a matching job lands
+		// on the slot — always at most the cost of streaming from scratch.
+		slotStates := func() []SlotState {
 			states := make([]SlotState, cfg.Slots)
 			for s := range slots {
 				states[s] = SlotState{
 					Free:     slots[s].mb == nil && slots[s].reconfigUntil < 0,
 					Resident: g.Shell.Slots[s].Resident(),
 				}
+				if slots[s].stageReady >= 0 && slots[s].stageReady <= now {
+					states[s].Staged = g.Shell.Slots[s].Staged()
+				}
 			}
+			return states
+		}
+		for len(queue) > 0 {
+			states := slotStates()
 			qjobs := make([]*Job, len(queue))
 			for i, j := range queue {
 				qjobs[i] = &order[j]
 			}
-			qi, s, ok := policy.Pick(qjobs, states)
+			qi, s, ok := policy.Pick(qjobs, states, ctx)
 			if !ok {
 				break
 			}
@@ -377,12 +449,65 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 			queue = append(queue[:qi], queue[qi+1:]...)
 			slots[s].job = j
 			slots[s].dispatchPs = eng.NowPs()
+			slots[s].stagedHit = false
 			if g.Shell.Slots[s].Resident() == order[j].coreName {
+				// Zero-config dispatch; a staged bitstream on this slot (for
+				// some later job) stays parked in the buffer.
 				slots[s].reconfigPs = 0
 				if err := launch(s, j); err != nil {
 					return nil, err
 				}
 				continue
+			}
+			if cfg.Stage && g.Shell.Slots[s].Staged() == order[j].coreName {
+				// Staged hit: the bitstream is already (or nearly) in the
+				// slot's staging buffer, so the swap costs the remaining DMA
+				// time plus the fixed commit window instead of a full stream.
+				// The port stays claimed (stageSlot) until the commit
+				// consumes the buffer — an in-flight transfer must not free
+				// it for a concurrent second DMA.
+				ready := slots[s].stageReady
+				if ready < now {
+					ready = now
+				}
+				until := ready + StageCommitCycles
+				// A transfer that has barely started can be beaten by
+				// streaming from scratch; the port controller finishes
+				// whichever way is faster, so a staged hit never costs more
+				// than a full stream.
+				if full := now + reconfigEdges(apps[order[j].App].img); until > full {
+					until = full
+				}
+				slots[s].reconfigUntil = until
+				slots[s].reconfigPs = float64(until-now) * periodPs
+				slots[s].stageCommit = true
+				slots[s].stagedHit = true
+				rep.StageCommits++
+				rep.TotalReconfigPs += slots[s].reconfigPs
+				continue
+			}
+			if cfg.Stage && g.Shell.Slots[s].Staged() != "" {
+				// The staged bitstream's job went elsewhere and a different
+				// application needs this slot: abort the transfer and pay the
+				// full stream. Resident neighbours are untouched.
+				if err := g.CancelStage(s); err != nil {
+					return nil, err
+				}
+				slots[s].stageReady = -1
+				stageSlot = -1
+				rep.StageCancels++
+			}
+			// The demand stream about to start owns the configuration port:
+			// an uncommitted staging DMA still in flight anywhere else is
+			// aborted — one transfer on the port at a time.
+			if cfg.Stage && stageSlot >= 0 && !slots[stageSlot].stageCommit &&
+				slots[stageSlot].stageReady > now {
+				if err := g.CancelStage(stageSlot); err != nil {
+					return nil, err
+				}
+				slots[stageSlot].stageReady = -1
+				stageSlot = -1
+				rep.StageCancels++
 			}
 			// Partial reconfiguration: empty the slot (the IMU channel
 			// unbinds; neighbours keep translating) and model the
@@ -395,6 +520,79 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 			slots[s].reconfigPs = float64(edges) * periodPs
 			rep.Reconfigs++
 			rep.TotalReconfigPs += slots[s].reconfigPs
+		}
+
+		// Retarget a stale stage: when the job a bitstream was staged for
+		// dispatched elsewhere and no queued job wants it any more, discard
+		// it so the port can pre-stage something useful; a staged bitstream
+		// some queued job still matches — or one a dispatched job is about
+		// to commit — stays parked.
+		if cfg.Stage && stageSlot >= 0 && !slots[stageSlot].stageCommit && len(queue) > 0 {
+			staged := g.Shell.Slots[stageSlot].Staged()
+			wanted := false
+			for _, qj := range queue {
+				if order[qj].coreName == staged {
+					wanted = true
+					break
+				}
+			}
+			if !wanted {
+				if err := g.CancelStage(stageSlot); err != nil {
+					return nil, err
+				}
+				slots[stageSlot].stageReady = -1
+				stageSlot = -1
+				rep.StageCancels++
+			}
+		}
+
+		// Pre-stage: every slot is committed but jobs are waiting, so put
+		// the configuration port to work behind the resident cores' backs.
+		// The target is the busy slot predicted (by the cost model) to free
+		// up soonest; the bitstream is the one the policy would dispatch
+		// onto that slot if it were free right now — asked by handing the
+		// policy a hypothetical slot table — so the stage anticipates the
+		// policy's own next decision rather than blind arrival order. One
+		// transfer on the port at a time: a staging DMA only starts while
+		// no demand stream (or staged-hit residual) is flowing.
+		portBusy := false
+		for s := range slots {
+			if slots[s].reconfigUntil >= 0 {
+				portBusy = true
+				break
+			}
+		}
+		if cfg.Stage && stageSlot < 0 && !portBusy && len(queue) > 0 {
+			target := -1
+			bestFin := 0.0
+			for s := range slots {
+				if slots[s].mb == nil {
+					continue // free or already reconfiguring for a dispatched job
+				}
+				fin := slots[s].startPs + estPs(&order[slots[s].job])
+				if target < 0 || fin < bestFin {
+					target, bestFin = s, fin
+				}
+			}
+			if target >= 0 {
+				hyp := slotStates()
+				hyp[target].Free = true
+				qjobs := make([]*Job, len(queue))
+				for i, j := range queue {
+					qjobs[i] = &order[j]
+				}
+				qi, hs, ok := policy.Pick(qjobs, hyp, ctx)
+				if ok && hs == target {
+					next := &order[queue[qi]]
+					if g.Shell.Slots[target].Resident() != next.coreName {
+						if err := g.BeginStage(target, apps[next.App].img); err != nil {
+							return nil, err
+						}
+						slots[target].stageReady = now + reconfigEdges(apps[next.App].img)
+						stageSlot = target
+					}
+				}
+			}
 		}
 
 		// Arm the alarm for the earliest timed event: the next arrival or
@@ -446,6 +644,24 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 		}
 		rep.UtilMean = util / float64(cfg.Slots)
 	}
+	// Deadline aggregates: nearest-rank p99 latency, and the miss-rate over
+	// the jobs that carry a service-level objective.
+	lats := make([]float64, len(rep.Jobs))
+	deadlined := 0
+	for i := range rep.Jobs {
+		lats[i] = rep.Jobs[i].LatencyPs
+		if rep.Jobs[i].DeadlinePs > 0 {
+			deadlined++
+			if rep.Jobs[i].Missed {
+				rep.Misses++
+			}
+		}
+	}
+	sort.Float64s(lats)
+	rep.P99LatencyPs = lats[int(math.Ceil(0.99*float64(len(lats))))-1]
+	if deadlined > 0 {
+		rep.MissRate = float64(rep.Misses) / float64(deadlined)
+	}
 	return rep, nil
 }
 
@@ -464,20 +680,27 @@ func finishJob(rep *Report, k *kernel.Kernel, job *Job, p *prepared, sr *slotRun
 	}
 	s := mb.Sess.ID()
 	done := mb.DonePs()
-	rep.Jobs[idx] = JobReport{
+	jr := JobReport{
 		ID:           job.ID,
 		App:          job.App,
 		Size:         job.Size,
 		Slot:         s,
 		ArrivalPs:    job.ArrivalPs,
+		DeadlinePs:   job.DeadlinePs,
 		QueueWaitPs:  sr.dispatchPs - job.ArrivalPs,
 		ReconfigPs:   sr.reconfigPs,
 		ExecPs:       done - sr.startPs,
 		LatencyPs:    done - job.ArrivalPs,
 		DonePs:       done,
 		Reconfigured: sr.reconfigPs > 0,
+		Staged:       sr.stagedHit,
 		Faults:       mb.Sess.Count.Faults,
 	}
+	if job.DeadlinePs > 0 {
+		jr.LatenessPs = done - job.DeadlinePs
+		jr.Missed = jr.LatenessPs > 0
+	}
+	rep.Jobs[idx] = jr
 	rep.SlotBusyPs[s] += done - sr.dispatchPs
 	return nil
 }

@@ -7,16 +7,28 @@ import (
 	"repro/internal/sim"
 )
 
+// mustTrace is the test-side Trace wrapper for parameters that are valid
+// by construction.
+func mustTrace(t *testing.T, n int, seed int64, meanGapPs float64) []Job {
+	t.Helper()
+	jobs, err := Trace(n, seed, meanGapPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
 // TestTraceDeterminism pins the trace generator's contract: the same
 // (n, seed, gap) triple replays bit-for-bit, a different seed diverges,
-// arrivals are monotone and IDEA sizes are whole blocks.
+// arrivals are monotone, IDEA sizes are whole blocks and every job carries
+// a service-level deadline past its arrival.
 func TestTraceDeterminism(t *testing.T) {
-	a := Trace(24, 7, 0.2e9)
-	b := Trace(24, 7, 0.2e9)
+	a := mustTrace(t, 24, 7, 0.2e9)
+	b := mustTrace(t, 24, 7, 0.2e9)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("identical trace parameters produced different streams")
 	}
-	c := Trace(24, 8, 0.2e9)
+	c := mustTrace(t, 24, 8, 0.2e9)
 	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds produced identical streams")
 	}
@@ -29,6 +41,28 @@ func TestTraceDeterminism(t *testing.T) {
 		if j.Size%8 != 0 {
 			t.Fatalf("job %d size %d is not a whole IDEA block count", j.ID, j.Size)
 		}
+		if j.DeadlinePs <= j.ArrivalPs {
+			t.Fatalf("job %d deadline %.3f ms not past its arrival %.3f ms",
+				j.ID, j.DeadlinePs/1e9, j.ArrivalPs/1e9)
+		}
+	}
+}
+
+// TestTraceRejectsDegenerateInputs pins the validation bugfix: a
+// non-positive job count or a negative mean gap must be an error, not an
+// empty or absurd stream.
+func TestTraceRejectsDegenerateInputs(t *testing.T) {
+	if _, err := Trace(0, 1, 0.1e9); err == nil {
+		t.Error("zero-job trace accepted")
+	}
+	if _, err := Trace(-1, 1, 0.1e9); err == nil {
+		t.Error("negative job count accepted")
+	}
+	if _, err := Trace(4, 1, -1); err == nil {
+		t.Error("negative mean gap accepted")
+	}
+	if jobs, err := Trace(4, 1, 0); err != nil || len(jobs) != 4 {
+		t.Errorf("zero gap (burst arrival) should be legal: %v, %d jobs", err, len(jobs))
 	}
 }
 
@@ -44,14 +78,14 @@ func TestPolicyPick(t *testing.T) {
 		{Free: true, Resident: "adpcmdecode"},
 	}
 
-	if j, s, ok := (FCFS{}).Pick(queue, slots); !ok || j != 0 || s != 1 {
+	if j, s, ok := (FCFS{}).Pick(queue, slots, nil); !ok || j != 0 || s != 1 {
 		t.Fatalf("FCFS picked (%d,%d,%v), want head of queue on lowest free slot", j, s, ok)
 	}
-	if j, s, ok := (SJF{}).Pick(queue, slots); !ok || j != 1 || s != 1 {
-		t.Fatalf("SJF picked (%d,%d,%v), want the smallest job", j, s, ok)
+	if j, s, ok := (SJF{}).Pick(queue, slots, nil); !ok || j != 1 || s != 1 {
+		t.Fatalf("SJF picked (%d,%d,%v), want the cheapest job", j, s, ok)
 	}
 	// Affinity: slot 1 has adpcmdecode resident, job 2 is the match.
-	if j, s, ok := (Affinity{}).Pick(queue, slots); !ok || j != 2 || s != 1 {
+	if j, s, ok := (Affinity{}).Pick(queue, slots, nil); !ok || j != 2 || s != 1 {
 		t.Fatalf("affinity picked (%d,%d,%v), want the resident-matching job", j, s, ok)
 	}
 	// No match anywhere: affinity prefers an empty slot over evicting a
@@ -61,27 +95,39 @@ func TestPolicyPick(t *testing.T) {
 		{Free: true, Resident: ""},
 	}
 	queue = queue[:1] // idea only
-	if j, s, ok := (Affinity{}).Pick(queue, slots); !ok || j != 0 || s != 1 {
+	if j, s, ok := (Affinity{}).Pick(queue, slots, nil); !ok || j != 0 || s != 1 {
 		t.Fatalf("affinity picked (%d,%d,%v), want FCFS onto the empty slot", j, s, ok)
 	}
 	// Nothing free: every policy declines.
 	slots = []SlotState{{Free: false}}
-	for _, p := range []Policy{FCFS{}, SJF{}, Affinity{}} {
-		if _, _, ok := p.Pick(queue, slots); ok {
+	for _, p := range []Policy{FCFS{}, SJF{}, Affinity{}, EDF{}, Slack{}} {
+		if _, _, ok := p.Pick(queue, slots, nil); ok {
 			t.Fatalf("%s dispatched onto a busy board", p.Name())
 		}
 	}
 }
 
 // TestServeAllPoliciesComplete runs a shared 16-job trace under every
-// policy and slot count and checks the report invariants: every job
-// completes exactly once with verified output (Serve fails otherwise),
-// waits and latencies are consistent, and utilisation is a fraction.
+// policy and slot count — the deadline pair and a pre-staging variant
+// included — and checks the report invariants: every job completes
+// exactly once with verified output (Serve fails otherwise), waits and
+// latencies are consistent, and utilisation is a fraction.
 func TestServeAllPoliciesComplete(t *testing.T) {
-	jobs := Trace(16, 4242, 0.15e9)
-	for _, policy := range []string{"fcfs", "sjf", "affinity"} {
+	jobs := mustTrace(t, 16, 4242, 0.15e9)
+	for _, c := range []struct {
+		policy string
+		stage  bool
+	}{
+		{"fcfs", false}, {"sjf", false}, {"affinity", false},
+		{"edf", false}, {"slack", false},
+		{"affinity", true}, {"slack", true},
+	} {
+		policy := c.policy
+		if c.stage {
+			policy += "+stage"
+		}
 		for _, slots := range []int{1, 2, 4} {
-			rep, err := Serve(Config{Policy: policy, Slots: slots}, jobs)
+			rep, err := Serve(Config{Policy: c.policy, Slots: slots, Stage: c.stage}, jobs)
 			if err != nil {
 				t.Fatalf("%s/%d slots: %v", policy, slots, err)
 			}
@@ -118,7 +164,7 @@ func TestServeAllPoliciesComplete(t *testing.T) {
 // bitstream-affinity policy: on the same stream and board it must spend
 // less configuration-port time (and fewer reconfigurations) than FCFS.
 func TestAffinityReducesReconfiguration(t *testing.T) {
-	jobs := Trace(24, 4242, 0.15e9)
+	jobs := mustTrace(t, 24, 4242, 0.15e9)
 	fcfs, err := Serve(Config{Policy: "fcfs", Slots: 2}, jobs)
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +188,7 @@ func TestAffinityReducesReconfiguration(t *testing.T) {
 // repository's differential guarantee to the serving layer (the alarm
 // ticker's bulk-skip windows must be provably inert).
 func TestServeSchedulerEquivalence(t *testing.T) {
-	jobs := Trace(10, 99, 0.2e9)
+	jobs := mustTrace(t, 10, 99, 0.2e9)
 	run := func(s sim.Scheduler) *Report {
 		t.Helper()
 		prev := sim.SetDefaultScheduler(s)
@@ -202,19 +248,141 @@ func TestDetachLeavesSurvivorsIntact(t *testing.T) {
 	}
 }
 
-// TestServeRejectsBadConfig pins the configuration validation.
+// TestServeRejectsBadConfig pins the configuration validation, including
+// the degenerate inputs the scheduler used to accept silently: a
+// non-positive slot count once fell back to a default (so `-slots 0`
+// produced a report contradicting the flag) and only a negative bandwidth
+// was caught after the sweep.
 func TestServeRejectsBadConfig(t *testing.T) {
-	jobs := Trace(2, 1, 0.1e9)
-	if _, err := Serve(Config{Policy: "optimal"}, jobs); err == nil {
+	jobs := mustTrace(t, 2, 1, 0.1e9)
+	if _, err := Serve(Config{Policy: "optimal", Slots: 2}, jobs); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
-	if _, err := Serve(Config{Board: "EPXA99"}, jobs); err == nil {
+	if _, err := Serve(Config{Board: "EPXA99", Slots: 2}, jobs); err == nil {
 		t.Fatal("unknown board accepted")
 	}
 	if _, err := Serve(Config{Slots: 32}, jobs); err == nil {
 		t.Fatal("32 slots on a 16-frame pool accepted")
 	}
-	if _, err := Serve(Config{}, nil); err == nil {
+	if _, err := Serve(Config{Slots: 0}, jobs); err == nil {
+		t.Fatal("zero slots accepted (must error, not silently default)")
+	}
+	if _, err := Serve(Config{Slots: -1}, jobs); err == nil {
+		t.Fatal("negative slot count accepted")
+	}
+	if _, err := Serve(Config{Slots: 2, ConfigBW: -5}, jobs); err == nil {
+		t.Fatal("negative configuration-port bandwidth accepted")
+	}
+	if _, err := Serve(Config{Slots: 2}, nil); err == nil {
 		t.Fatal("empty stream accepted")
+	}
+}
+
+// TestStagingNeverArmedBitIdentical is the differential guarantee of the
+// pre-staging machinery: on a stream whose queue never waits behind a busy
+// board (so the stage is never armed), a staging-enabled run must be
+// bit-identical to the pre-staging scheduler — every per-job metric, every
+// counter, the whole report.
+func TestStagingNeverArmedBitIdentical(t *testing.T) {
+	// Two jobs land on the two free slots instantly; the third arrives
+	// long after both finished. Nothing ever queues, so the stage cannot
+	// arm.
+	jobs := []Job{
+		{ID: 0, App: "adpcm", Size: 2048, ArrivalPs: 0, Seed: 1},
+		{ID: 1, App: "idea", Size: 2048, ArrivalPs: 0, Seed: 2},
+		{ID: 2, App: "vecadd", Size: 1024, ArrivalPs: 40e9, Seed: 3},
+	}
+	off, err := Serve(Config{Policy: "affinity", Slots: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Serve(Config{Policy: "affinity", Slots: 2, Stage: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.StageCommits != 0 || on.StageCancels != 0 {
+		t.Fatalf("stage armed on a never-queueing stream: %d commits, %d cancels",
+			on.StageCommits, on.StageCancels)
+	}
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("staging-enabled run diverged with the stage never armed:\n on  %+v\n off %+v", on, off)
+	}
+}
+
+// TestStagedThenCancelledLeavesRunIntact is the cancellation invariant: a
+// bitstream staged for a job that another slot then steals is discarded
+// the moment a different application needs the slot, and the discarded
+// transfer must leave the resident core, the survivor jobs' outputs
+// (verified against the golden algorithms inside Serve) and every timing
+// bit-identical to a run without staging.
+func TestStagedThenCancelledLeavesRunIntact(t *testing.T) {
+	// Both slots are busy when the lone vecadd job arrives — slot 0 with a
+	// long adpcm job, slot 1 executing idea — so the vecadd bitstream
+	// stages behind slot 1 (the soonest to finish). A dense chain of idea
+	// arrivals then keeps slot 1 on zero-config resident matches, until
+	// slot 0 frees first and steals the vecadd job with a full
+	// reconfiguration; the stale vecadd stage on slot 1 is discarded the
+	// moment no queued job wants it any more.
+	jobs := []Job{
+		{ID: 0, App: "adpcm", Size: 4096, ArrivalPs: 0, Seed: 1},
+		{ID: 1, App: "idea", Size: 4096, ArrivalPs: 0, Seed: 2},
+		{ID: 2, App: "vecadd", Size: 1024, ArrivalPs: 1.3e9, Seed: 3},
+	}
+	for i := 0; i < 25; i++ {
+		size := 1024
+		if i%2 == 1 {
+			size = 2048
+		}
+		jobs = append(jobs, Job{
+			ID: 3 + i, App: "idea", Size: size,
+			ArrivalPs: 1.4e9 + float64(i)*0.3e9, Seed: int64(10 + i),
+		})
+	}
+	off, err := Serve(Config{Policy: "affinity", Slots: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Serve(Config{Policy: "affinity", Slots: 2, Stage: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.StageCancels == 0 {
+		t.Fatalf("fixture rot: the staged-then-cancelled path was not exercised (%d commits, %d cancels)",
+			on.StageCommits, on.StageCancels)
+	}
+	if on.StageCommits != 0 {
+		t.Fatalf("fixture rot: a stage committed (%d), so the runs legitimately differ", on.StageCommits)
+	}
+	cancels := on.StageCancels
+	on.StageCancels = 0
+	if !reflect.DeepEqual(on, off) {
+		t.Fatalf("a staged-then-cancelled bitstream perturbed the run (%d cancels):\n on  %+v\n off %+v",
+			cancels, on, off)
+	}
+}
+
+// TestStagingSchedulerEquivalence extends the lockstep/event-driven
+// differential guarantee to the staging and deadline machinery: a
+// slack-policy run with pre-staging enabled must produce bit-identical
+// reports under both simulation schedulers.
+func TestStagingSchedulerEquivalence(t *testing.T) {
+	jobs := mustTrace(t, 16, 99, 0.1e9)
+	run := func(s sim.Scheduler) *Report {
+		t.Helper()
+		prev := sim.SetDefaultScheduler(s)
+		defer sim.SetDefaultScheduler(prev)
+		rep, err := Serve(Config{Policy: "slack", Slots: 2, ConfigBW: 250_000, Stage: true}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	lock := run(sim.Lockstep)
+	evnt := run(sim.EventDriven)
+	if !reflect.DeepEqual(lock, evnt) {
+		t.Fatalf("schedulers disagree:\n lockstep %+v\n event    %+v", lock, evnt)
+	}
+	if lock.StageCommits == 0 {
+		t.Fatal("fixture rot: staging never committed, equivalence not exercised")
 	}
 }
