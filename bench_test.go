@@ -231,9 +231,11 @@ func BenchmarkAblationPageSize(b *testing.B) {
 // BenchmarkServe runs the dynamic-reconfiguration serving cells: the
 // 24-job SERVE stream on two shell slots under each scheduling policy —
 // including the deadline-aware pair, with and without pre-staged
-// reconfiguration for slack. The simulated makespan, total reconfiguration
-// time and deadline metrics are published alongside the host-side cost of
-// running the whole serving loop.
+// reconfiguration for slack — plus the open-loop saturation pair, the
+// SATURATE stream offered at twice the detected knee with admission
+// control off and rejecting. The simulated makespan, reconfiguration,
+// deadline and goodput metrics are published alongside the host-side cost
+// of running the whole serving loop.
 func BenchmarkServe(b *testing.B) {
 	jobs := exp.ServeTrace()
 	for _, c := range []struct {
@@ -258,6 +260,33 @@ func BenchmarkServe(b *testing.B) {
 				reportSim(b, "sim-ms-reconfig", rep.TotalReconfigPs)
 				reportSim(b, "sim-ms-p99", rep.P99LatencyPs)
 				b.ReportMetric(float64(rep.Reconfigs), "reconfigs")
+				b.ReportMetric(rep.MissRate, "miss-rate")
+			}
+		})
+	}
+	// Open-loop saturation cells: 1600 jobs/s is twice the knee the pinned
+	// SATURATE ramp detects for this configuration (testdata/saturate_cells.json).
+	saturated, err := exp.SaturateStream(1600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name  string
+		admit string
+	}{
+		{"saturate-off", rcsched.AdmitOff},
+		{"saturate-admit", rcsched.AdmitReject},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := rcsched.Serve(rcsched.Config{Policy: "slack", Slots: 2, Admit: c.admit}, saturated)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms-makespan", rep.MakespanPs)
+				reportSim(b, "sim-ms-p99-admitted", rep.P99AdmittedPs)
+				b.ReportMetric(rep.GoodputRPS, "goodput-rps")
+				b.ReportMetric(rep.ShedRate, "shed-rate")
 				b.ReportMetric(rep.MissRate, "miss-rate")
 			}
 		})

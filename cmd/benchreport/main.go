@@ -169,6 +169,13 @@ func diffBaseline(rep Report, path string, maxRegress, noiseFloor float64) bool 
 			}
 		}
 		fmt.Printf("  %s %-55s %12.0f -> %12.0f ns/op (%+.1f%%)\n", mark, r.Name, b.NsPerOp, r.NsPerOp, delta*100)
+		// Serving-quality columns (informational, not gated): the open-loop
+		// saturation cells publish goodput and shed-rate metrics, and their
+		// trend belongs next to the wall-clock trend in the CI log.
+		if g, ok := r.Metrics["goodput-rps"]; ok {
+			fmt.Printf("       %-55s %12.0f -> %12.0f goodput-rps, shed-rate %.2f -> %.2f\n",
+				"", b.Metrics["goodput-rps"], g, b.Metrics["shed-rate"], r.Metrics["shed-rate"])
+		}
 	}
 	// Benchmarks the percentage gate skipped must not vanish silently from
 	// CI logs: name every cell whose regression was excused by the

@@ -16,6 +16,10 @@
 //	vimsim -mode serve -jobs 32 -seed 7 -bw 250000 # ... slow config port
 //	vimsim -mode serve -policy slack -stage        # deadline-aware + pre-staging
 //	vimsim -mode serve -policy edf -budget 0.5     # tight service-level budgets
+//	vimsim -mode saturate -rps 2000                # open-loop Poisson stream
+//	vimsim -mode saturate -rps 2000 -admit reject  # ... shedding late jobs
+//	vimsim -mode saturate -arrival bursty -rps 800 # on/off burst arrivals
+//	vimsim -mode saturate -ramp                    # sweep RPS to the knee
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"repro/internal/rcsched"
 	"repro/internal/ref"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -42,7 +47,7 @@ func main() {
 	size := flag.Int("size", 16384, "input size in bytes (vecadd: per-vector bytes)")
 	board := flag.String("board", "EPXA1", "board: EPXA1 | EPXA4 | EPXA10")
 	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random; serve mode: scheduling policy: fcfs | sjf | affinity | edf | slack")
-	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi | serve")
+	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi | serve | saturate")
 	arb := flag.String("arb", "static", "multi mode: inter-session arbitration: static | global-lru")
 	split := flag.Int("split", 0, "multi mode: page frames for the IDEA session (0 = half the pool)")
 	slots := flag.Int("slots", 2, "serve mode: reconfigurable shell slots")
@@ -50,7 +55,11 @@ func main() {
 	bw := flag.Float64("bw", 0, "serve mode: configuration-port bandwidth, bytes/s (0 = default)")
 	gap := flag.Float64("gap", 0.15, "serve mode: mean arrival gap in ms")
 	stage := flag.Bool("stage", false, "serve mode: pre-stage the next bitstream while slots execute")
-	budget := flag.Float64("budget", rcsched.DefaultBudgetFactor, "serve mode: service-level budget factor scaling every job's deadline")
+	budget := flag.Float64("budget", rcsched.DefaultBudgetFactor, "serve/saturate mode: service-level budget factor scaling every job's deadline (saturate: 0 strips deadlines)")
+	rps := flag.Float64("rps", 800, "saturate mode: offered arrival rate, jobs/s")
+	arrival := flag.String("arrival", "poisson", "saturate mode: arrival process: uniform | poisson | bursty")
+	admit := flag.String("admit", "off", "saturate mode: admission control: off | reject | degrade")
+	ramp := flag.Bool("ramp", false, "saturate mode: sweep offered RPS up a linear ramp to the saturation knee instead of serving one rate")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined IMU")
 	bounce := flag.Bool("bounce", false, "use the double-transfer (bounce buffer) page path")
 	prefetch := flag.Int("prefetch", 0, "sequential prefetch pages per fault")
@@ -88,6 +97,10 @@ func main() {
 			{*arb != "static", "-arb"},
 			{*split != 0, "-split"},
 			{*vcdPath != "", "-vcd"},
+			{*rps != 800, "-rps"},
+			{*arrival != "poisson", "-arrival"},
+			{*admit != "off", "-admit"},
+			{*ramp, "-ramp"},
 		} {
 			if f.set {
 				log.Fatalf("mode serve does not support %s (serves the generated mixed trace on a static-partition shell)", f.name)
@@ -98,11 +111,50 @@ func main() {
 		}
 		return
 	}
+
+	if *mode == "saturate" {
+		pol := *policy
+		if pol == "fifo" { // the single-run flag default; serving defaults to FCFS
+			pol = "fcfs"
+		}
+		// Reject flags the open-loop server would silently ignore: the
+		// arrival process replaces the closed-form -gap, and the stream
+		// fixes the application mix like serve mode.
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*pipelined, "-pipelined"},
+			{*bounce, "-bounce"},
+			{*prefetch != 0, "-prefetch"},
+			{*app != "idea", "-app"},
+			{*size != 16384, "-size"},
+			{*arb != "static", "-arb"},
+			{*split != 0, "-split"},
+			{*vcdPath != "", "-vcd"},
+			{*gap != 0.15, "-gap"},
+		} {
+			if f.set {
+				log.Fatalf("mode saturate does not support %s (open-loop arrivals come from -arrival and -rps)", f.name)
+			}
+		}
+		if err := validateSaturate(*rps, *arrival, *admit, *budget, *jobs); err != nil {
+			log.Fatal(err)
+		}
+		if err := runSaturate(*board, pol, *slots, *jobs, *bw, *budget, *seed, *stage,
+			*rps, *arrival, *admit, *ramp); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *stage {
-		log.Fatalf("-stage only applies to -mode serve")
+		log.Fatalf("-stage only applies to -mode serve or saturate")
 	}
 	if *budget != rcsched.DefaultBudgetFactor {
-		log.Fatalf("-budget only applies to -mode serve")
+		log.Fatalf("-budget only applies to -mode serve or saturate")
+	}
+	if *ramp || *rps != 800 || *arrival != "poisson" || *admit != "off" {
+		log.Fatalf("-rps, -arrival, -admit and -ramp only apply to -mode saturate")
 	}
 
 	if *mode == "multi" {
@@ -373,6 +425,137 @@ func runServe(board, policy string, slots, jobs int, bw, gapMs, budget float64, 
 		fmt.Printf("  #%-3d %-7s %5d B  slot %d  arrive %7.3f  wait %7.3f  exec %7.3f  done %7.3f  dl %7.3f ms %s  %s\n",
 			j.ID, j.App, j.Size, j.Slot, j.ArrivalPs/1e9, j.QueueWaitPs/1e9, j.ExecPs/1e9, j.DonePs/1e9,
 			j.DeadlinePs/1e9, slo, reconf)
+	}
+	return nil
+}
+
+// validateSaturate checks the saturate-mode flag combination before any
+// simulation work starts; every rejection is a one-line error carrying a
+// usage hint (main turns it into a non-zero exit).
+func validateSaturate(rps float64, arrival, admit string, budget float64, jobs int) error {
+	if jobs <= 0 {
+		return fmt.Errorf("saturate: -jobs must be positive, got %d (try -jobs 40)", jobs)
+	}
+	if rps <= 0 {
+		return fmt.Errorf("saturate: -rps must be positive, got %g (try -rps 800)", rps)
+	}
+	switch arrival {
+	case "uniform", "poisson", "bursty":
+	default:
+		return fmt.Errorf("saturate: unknown -arrival %q (want uniform, poisson or bursty)", arrival)
+	}
+	switch admit {
+	case "", "off", "reject", "degrade":
+	default:
+		return fmt.Errorf("saturate: unknown -admit %q (want off, reject or degrade)", admit)
+	}
+	if budget < 0 {
+		return fmt.Errorf("saturate: -budget must be non-negative, got %g (0 strips deadlines)", budget)
+	}
+	if budget == 0 && admit != "" && admit != "off" {
+		return fmt.Errorf("saturate: -admit %s sheds by deadline, but -budget 0 strips every deadline (set -budget > 0)", admit)
+	}
+	return nil
+}
+
+// runSaturate serves one open-loop stream — or, with ramp, sweeps offered
+// RPS up a linear ramp until the overload detector fires — and prints the
+// saturation report.
+func runSaturate(board, policy string, slots, jobs int, bw, budget float64, seed int64,
+	stage bool, rps float64, arrival, admit string, ramp bool) error {
+	cfg := rcsched.Config{
+		Board:    board,
+		Slots:    slots,
+		Policy:   policy,
+		ConfigBW: bw,
+		Stage:    stage,
+		Admit:    admit,
+	}
+	spec := traffic.Spec{Process: arrival, RPS: rps}
+
+	if ramp {
+		// Sweep from a quarter of the target rate up to three times it.
+		res, err := traffic.FindKnee(cfg, spec, traffic.RampSpec{
+			StartRPS: rps / 4,
+			StepRPS:  rps / 4,
+			Steps:    12,
+			Jobs:     jobs,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mode        saturate ramp (%s arrivals, %d jobs per step, seed %d)\n", arrival, jobs, seed)
+		fmt.Printf("board       %s\n", board)
+		fmt.Printf("policy      %s (%d slots, admission %s)\n", policy, slots, admit)
+		fmt.Printf("detector    >%.0f%% of any %d consecutive jobs failing\n",
+			100*traffic.DefaultThreshold, traffic.DefaultWindow)
+		fmt.Println("ramp        target | offered | achieved | goodput RPS | shed | miss | p99 ms")
+		for _, p := range res.Points {
+			over := ""
+			if p.Overloaded {
+				over = "  <- overloaded"
+			}
+			fmt.Printf("  %10.0f | %7.0f | %8.0f | %11.0f | %.2f | %.2f | %7.3f%s\n",
+				p.RPS, p.OfferedRPS, p.AchievedRPS, p.GoodputRPS, p.ShedRate, p.MissRate,
+				p.P99LatencyPs/1e9, over)
+		}
+		if res.SaturationRPS == 0 {
+			fmt.Printf("knee        not reached: the board keeps up through %.0f jobs/s\n",
+				res.Points[len(res.Points)-1].RPS)
+			return nil
+		}
+		fmt.Printf("knee        %.0f jobs/s (saturates at %.0f)\n", res.KneeRPS, res.SaturationRPS)
+		return nil
+	}
+
+	stream, err := traffic.Stream(jobs, seed, spec)
+	if err != nil {
+		return err
+	}
+	if budget == 0 {
+		for i := range stream {
+			stream[i].DeadlinePs = 0
+		}
+	} else if budget != rcsched.DefaultBudgetFactor {
+		rcsched.SetBudgets(stream, budget)
+	}
+	rep, err := rcsched.Serve(cfg, stream)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode        saturate (%s arrivals at %.0f jobs/s, %d jobs, seed %d, budget factor %g)\n",
+		arrival, rps, jobs, seed, budget)
+	fmt.Printf("board       %s\n", rep.Board)
+	fmt.Printf("policy      %s (%d slots, admission %s)\n", rep.Policy, rep.Slots, admit)
+	fmt.Printf("offered     %.0f jobs/s measured\n", rep.OfferedRPS)
+	fmt.Printf("achieved    %.0f jobs/s (%d of %d completed)\n", rep.AchievedRPS, rep.Completed, len(rep.Jobs))
+	fmt.Printf("goodput     %.0f jobs/s met their deadline\n", rep.GoodputRPS)
+	fmt.Printf("admission   %d admitted, %d degraded, %d rejected (shed rate %.2f)\n",
+		rep.Admitted, rep.Degraded, rep.Rejected, rep.ShedRate)
+	fmt.Printf("overloaded  %v\n", traffic.Overloaded(rep, 0, 0))
+	fmt.Printf("makespan    %.3f ms\n", rep.MakespanPs/1e9)
+	fmt.Printf("p99 lat.    %.3f ms (admitted only: %.3f ms)\n", rep.P99LatencyPs/1e9, rep.P99AdmittedPs/1e9)
+	fmt.Printf("deadlines   %d missed (miss rate %.2f over completed)\n", rep.Misses, rep.MissRate)
+	fmt.Printf("utilisation %.2f mean across slots\n", rep.UtilMean)
+	fmt.Println("jobs")
+	for _, j := range rep.Jobs {
+		switch j.Disposition {
+		case rcsched.Rejected:
+			fmt.Printf("  #%-3d %-7s %5d B  REJECTED at %7.3f ms (deadline %7.3f ms)\n",
+				j.ID, j.App, j.Size, j.DonePs/1e9, j.DeadlinePs/1e9)
+		case rcsched.Degraded:
+			fmt.Printf("  #%-3d %-7s %5d B  degraded: SW exec %7.3f  done %7.3f  dl %7.3f ms\n",
+				j.ID, j.App, j.Size, j.ExecPs/1e9, j.DonePs/1e9, j.DeadlinePs/1e9)
+		default:
+			slo := "met "
+			if j.Missed {
+				slo = fmt.Sprintf("LATE %+.2f", j.LatenessPs/1e9)
+			}
+			fmt.Printf("  #%-3d %-7s %5d B  slot %d  arrive %7.3f  wait %7.3f  exec %7.3f  done %7.3f  dl %7.3f ms %s\n",
+				j.ID, j.App, j.Size, j.Slot, j.ArrivalPs/1e9, j.QueueWaitPs/1e9, j.ExecPs/1e9,
+				j.DonePs/1e9, j.DeadlinePs/1e9, slo)
+		}
 	}
 	return nil
 }

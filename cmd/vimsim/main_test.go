@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateSaturateFlags sweeps the saturate-mode flag validation: every
+// degenerate combination must come back as an error (main turns it into a
+// non-zero exit) whose single line carries a usage hint, and every legal
+// combination must pass.
+func TestValidateSaturateFlags(t *testing.T) {
+	type flags struct {
+		rps     float64
+		arrival string
+		admit   string
+		budget  float64
+		jobs    int
+	}
+	ok := flags{rps: 800, arrival: "poisson", admit: "off", budget: 1, jobs: 24}
+	cases := []struct {
+		name string
+		f    flags
+		hint string // empty = must be accepted; otherwise the error must contain it
+	}{
+		{"defaults", ok, ""},
+		{"uniform arrivals", flags{800, "uniform", "off", 1, 24}, ""},
+		{"bursty arrivals", flags{800, "bursty", "off", 1, 24}, ""},
+		{"admit reject", flags{800, "poisson", "reject", 1, 24}, ""},
+		{"admit degrade", flags{800, "poisson", "degrade", 1, 24}, ""},
+		{"admit empty alias", flags{800, "poisson", "", 1, 24}, ""},
+		{"no deadlines", flags{800, "poisson", "off", 0, 24}, ""},
+		{"zero rps", flags{0, "poisson", "off", 1, 24}, "-rps must be positive"},
+		{"negative rps", flags{-50, "poisson", "off", 1, 24}, "-rps must be positive"},
+		{"unknown arrival", flags{800, "diurnal-ish", "off", 1, 24}, "unknown -arrival"},
+		{"unknown admit", flags{800, "poisson", "shed", 1, 24}, "unknown -admit"},
+		{"admit without deadlines", flags{800, "poisson", "reject", 0, 24}, "set -budget > 0"},
+		{"degrade without deadlines", flags{800, "poisson", "degrade", 0, 24}, "set -budget > 0"},
+		{"negative budget", flags{800, "poisson", "off", -1, 24}, "-budget must be non-negative"},
+		{"zero jobs", flags{800, "poisson", "off", 1, 0}, "-jobs must be positive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateSaturate(c.f.rps, c.f.arrival, c.f.admit, c.f.budget, c.f.jobs)
+			if c.hint == "" {
+				if err != nil {
+					t.Fatalf("legal flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("degenerate flags accepted")
+			}
+			if !strings.Contains(err.Error(), c.hint) {
+				t.Fatalf("error %q does not carry the usage hint %q", err, c.hint)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error %q spans multiple lines; the hint must be one line", err)
+			}
+		})
+	}
+}

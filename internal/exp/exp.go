@@ -55,6 +55,7 @@ func All() []Experiment {
 		{ID: "SESSIONS", Title: "Multi-coprocessor sessions behind one VIM (partition split sweep)", Run: RunSessions},
 		{ID: "SERVE", Title: "Dynamic reconfiguration scheduler: multi-user job serving (policy x slots x config bandwidth)", Run: RunServe},
 		{ID: "DEADLINE", Title: "Deadline-aware serving with pre-staged reconfiguration (policy x staging x bandwidth x budget)", Run: RunDeadline},
+		{ID: "SATURATE", Title: "Open-loop saturation: offered-RPS ramp, overload detection and admission control", Run: RunSaturate},
 	}
 }
 

@@ -233,10 +233,40 @@ func TestDeadlineShape(t *testing.T) {
 	}
 }
 
+func TestSaturateShape(t *testing.T) {
+	res := run(t, "SATURATE")
+	knee, sat := res.Series["knee_rps"], res.Series["saturation_rps"]
+	if knee <= 0 || sat <= knee {
+		t.Fatalf("ramp found no knee strictly below saturation: knee %.0f, saturation %.0f", knee, sat)
+	}
+	// The headline acceptance property, at twice the detected knee for both
+	// deadline policies: shedding provably-late jobs strictly improves
+	// goodput and strictly tightens the admitted-job p99 over admitting
+	// everything — and actually sheds something, or the comparison is vacuous.
+	for _, p := range []string{"slack", "edf"} {
+		off, rej := p+"/off/2x", p+"/reject/2x"
+		if res.Series["shed_rate/"+rej] == 0 {
+			t.Errorf("%s: admission shed nothing at 2x the knee", p)
+		}
+		if !(res.Series["goodput_rps/"+rej] > res.Series["goodput_rps/"+off]) {
+			t.Errorf("%s: admission goodput %.0f jobs/s not above admit-everything's %.0f",
+				p, res.Series["goodput_rps/"+rej], res.Series["goodput_rps/"+off])
+		}
+		if !(res.Series["p99_admitted_ms/"+rej] < res.Series["p99_admitted_ms/"+off]) {
+			t.Errorf("%s: admitted-job p99 %.3f ms not below admit-everything's %.3f ms",
+				p, res.Series["p99_admitted_ms/"+rej], res.Series["p99_admitted_ms/"+off])
+		}
+		// Degrade mode answers every request, so it sheds nothing outright.
+		if res.Series["shed_rate/"+p+"/degrade/2x"] != 0 {
+			t.Errorf("%s: degrade mode rejected jobs outright", p)
+		}
+	}
+}
+
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"FIG3", "FIG7", "FIG8", "FIG9", "OVERHEAD", "PORT",
 		"POLICY", "BOUNCE", "PIPELINE", "PREFETCH", "PAGESIZE", "CHUNK",
-		"SESSIONS", "SERVE", "DEADLINE"}
+		"SESSIONS", "SERVE", "DEADLINE", "SATURATE"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

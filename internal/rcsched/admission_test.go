@@ -1,0 +1,232 @@
+package rcsched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// overloadedTrace is a stream offered well past the two-slot board's
+// service capacity (~1k jobs/s): a 0.15 ms mean gap is ~6.7k jobs/s, so
+// without admission control the queue grows without bound over the run and
+// late jobs drag every later one past its deadline.
+func overloadedTrace(t *testing.T, n int) []Job {
+	t.Helper()
+	return mustTrace(t, n, 4242, 0.15e9)
+}
+
+// TestAdmitModeValidation pins the Config.Admit vocabulary: the empty
+// string and the three named modes are accepted, anything else is a
+// serve-time error naming the bad mode.
+func TestAdmitModeValidation(t *testing.T) {
+	jobs := mustTrace(t, 2, 1, 0.1e9)
+	for _, admit := range []string{"", AdmitOff, AdmitReject, AdmitDegrade} {
+		if _, err := Serve(Config{Slots: 2, Admit: admit}, jobs); err != nil {
+			t.Errorf("admit mode %q rejected: %v", admit, err)
+		}
+	}
+	if _, err := Serve(Config{Slots: 2, Admit: "shed"}, jobs); err == nil {
+		t.Error("unknown admit mode accepted")
+	}
+}
+
+// TestAdmissionOffBitIdentical pins the compatibility contract written into
+// Config.Admit's documentation: with admission control off — whether by
+// the empty default or the explicit mode name — the serving run is
+// bit-identical, per-job metrics included, and every job reports the
+// Admitted disposition.
+func TestAdmissionOffBitIdentical(t *testing.T) {
+	jobs := overloadedTrace(t, 16)
+	def, err := Serve(Config{Policy: "slack", Slots: 2, Stage: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Serve(Config{Policy: "slack", Slots: 2, Stage: true, Admit: AdmitOff}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, off) {
+		t.Fatalf("explicit %q mode diverges from the default:\n default %+v\n off     %+v",
+			AdmitOff, def, off)
+	}
+	if def.Admitted != len(jobs) || def.Rejected != 0 || def.Degraded != 0 {
+		t.Fatalf("admission off should admit everything: %d admitted, %d rejected, %d degraded",
+			def.Admitted, def.Rejected, def.Degraded)
+	}
+	for i := range def.Jobs {
+		if def.Jobs[i].Disposition != Admitted {
+			t.Fatalf("job %d disposition %q with admission off", def.Jobs[i].ID, def.Jobs[i].Disposition)
+		}
+	}
+	if def.Completed != len(jobs) || def.ShedRate != 0 {
+		t.Fatalf("admission off: completed %d of %d, shed rate %v", def.Completed, len(jobs), def.ShedRate)
+	}
+}
+
+// TestAdmissionRejectImprovesGoodput is the robustness property the
+// admission controller exists for: on a stream offered far past capacity,
+// shedding provably-late jobs yields strictly more deadline-met completions
+// per second than serving everything, and bounds the p99 latency of the
+// jobs it does admit below the admit-everything tail.
+func TestAdmissionRejectImprovesGoodput(t *testing.T) {
+	jobs := overloadedTrace(t, 32)
+	run := func(admit string) *Report {
+		t.Helper()
+		rep, err := Serve(Config{Policy: "slack", Slots: 2, Admit: admit}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	off := run(AdmitOff)
+	rej := run(AdmitReject)
+	if rej.Rejected == 0 {
+		t.Fatal("overloaded stream shed nothing — the estimator never fired")
+	}
+	if rej.Rejected == len(jobs) {
+		t.Fatal("admission rejected the entire stream — the estimator is not optimistic")
+	}
+	if rej.GoodputRPS <= off.GoodputRPS {
+		t.Errorf("admission goodput %.1f jobs/s not above admit-everything's %.1f",
+			rej.GoodputRPS, off.GoodputRPS)
+	}
+	if rej.P99AdmittedPs >= off.P99AdmittedPs {
+		t.Errorf("admitted-jobs p99 %.3f ms not below admit-everything's %.3f ms",
+			rej.P99AdmittedPs/1e9, off.P99AdmittedPs/1e9)
+	}
+	// Rejected jobs carry the rejection instant and nothing else.
+	for i := range rej.Jobs {
+		j := &rej.Jobs[i]
+		if j.Disposition != Rejected {
+			continue
+		}
+		if j.Slot != -1 || j.LatencyPs != 0 || j.ExecPs != 0 {
+			t.Fatalf("rejected job %d carries serving metrics: %+v", j.ID, j)
+		}
+		if j.DonePs < j.ArrivalPs {
+			t.Fatalf("rejected job %d decided before it arrived", j.ID)
+		}
+	}
+}
+
+// TestAdmissionDegradeServesEverything pins the degraded path: in degrade
+// mode nothing is shed outright — provably-late jobs run on the timed-SW
+// baseline, sequentially, at the calibrated estimate — so every job
+// completes and the degraded ones report the SW service model's timing.
+func TestAdmissionDegradeServesEverything(t *testing.T) {
+	jobs := overloadedTrace(t, 24)
+	rep, err := Serve(Config{Policy: "slack", Slots: 2, Admit: AdmitDegrade}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("degrade mode rejected %d jobs", rep.Rejected)
+	}
+	if rep.Degraded == 0 {
+		t.Fatal("overloaded stream degraded nothing — the estimator never fired")
+	}
+	if rep.Completed != len(jobs) {
+		t.Fatalf("degrade mode completed %d of %d", rep.Completed, len(jobs))
+	}
+	prevDone := 0.0
+	for i := range rep.Jobs {
+		j := &rep.Jobs[i]
+		if j.Disposition != Degraded {
+			continue
+		}
+		if j.Slot != -1 {
+			t.Fatalf("degraded job %d claims shell slot %d", j.ID, j.Slot)
+		}
+		if want := SWEstPs(j.App, j.Size); math.Abs(j.ExecPs-want) > 1e-6 {
+			t.Fatalf("degraded job %d exec %.3f ms, SW estimate %.3f ms", j.ID, j.ExecPs/1e9, want/1e9)
+		}
+		// The SW server is sequential: degraded executions never overlap.
+		if start := j.DonePs - j.ExecPs; start < prevDone {
+			t.Fatalf("degraded job %d starts %.3f ms before the SW server is free (%.3f ms)",
+				j.ID, start/1e9, prevDone/1e9)
+		}
+		prevDone = j.DonePs
+	}
+}
+
+// TestAdmissionAllRejectedZeroAggregates is the aggregate edge-case
+// regression: a stream whose every deadline is already unmeetable at
+// admission leaves an empty completion set, and every divided aggregate —
+// p99 included, which used to index lats[-1] and panic — must come back an
+// explicit, finite zero.
+func TestAdmissionAllRejectedZeroAggregates(t *testing.T) {
+	jobs := mustTrace(t, 6, 7, 0.1e9)
+	for i := range jobs {
+		jobs[i].DeadlinePs = jobs[i].ArrivalPs + 1 // 1 ps budget: provably unmeetable
+	}
+	rep, err := Serve(Config{Slots: 2, Admit: AdmitReject}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != len(jobs) || rep.Completed != 0 {
+		t.Fatalf("want everything rejected: %d rejected, %d completed", rep.Rejected, rep.Completed)
+	}
+	for name, v := range map[string]float64{
+		"MeanWaitPs":    rep.MeanWaitPs,
+		"MeanLatencyPs": rep.MeanLatencyPs,
+		"P99LatencyPs":  rep.P99LatencyPs,
+		"P99AdmittedPs": rep.P99AdmittedPs,
+		"MissRate":      rep.MissRate,
+		"UtilMean":      rep.UtilMean,
+		"MakespanPs":    rep.MakespanPs,
+		"AchievedRPS":   rep.AchievedRPS,
+		"GoodputRPS":    rep.GoodputRPS,
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Errorf("%s = %v on an all-rejected run, want explicit 0", name, v)
+		}
+	}
+	if rep.ShedRate != 1 {
+		t.Errorf("ShedRate = %v, want 1", rep.ShedRate)
+	}
+}
+
+// TestAdmissionNeverShedsDeadlineFreeJobs pins the documented exception:
+// jobs without a service-level objective are always admitted, however
+// saturated the board is.
+func TestAdmissionNeverShedsDeadlineFreeJobs(t *testing.T) {
+	jobs := overloadedTrace(t, 16)
+	for i := range jobs {
+		jobs[i].DeadlinePs = 0
+	}
+	rep, err := Serve(Config{Slots: 2, Admit: AdmitReject}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 0 || rep.Admitted != len(jobs) {
+		t.Fatalf("deadline-free stream shed jobs: %d rejected of %d", rep.Rejected, len(jobs))
+	}
+}
+
+// TestAdmissionSchedulerEquivalence extends the differential guarantee to
+// the admission controller: with shedding active on an overloaded stream,
+// the lockstep reference and the event-driven default must produce the
+// same report bit for bit — dispositions, shed instants and aggregates
+// included.
+func TestAdmissionSchedulerEquivalence(t *testing.T) {
+	jobs := overloadedTrace(t, 20)
+	for _, admit := range []string{AdmitReject, AdmitDegrade} {
+		run := func(s sim.Scheduler) *Report {
+			t.Helper()
+			prev := sim.SetDefaultScheduler(s)
+			defer sim.SetDefaultScheduler(prev)
+			rep, err := Serve(Config{Policy: "edf", Slots: 2, Stage: true, Admit: admit}, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		lock := run(sim.Lockstep)
+		evnt := run(sim.EventDriven)
+		if !reflect.DeepEqual(lock, evnt) {
+			t.Fatalf("%s: schedulers disagree:\n lockstep %+v\n event    %+v", admit, lock, evnt)
+		}
+	}
+}

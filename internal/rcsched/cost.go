@@ -48,6 +48,33 @@ func ExecEstPs(app string, size int, shellHz int64) float64 {
 	return float64(cost) / 8 * 1e12 / float64(shellHz)
 }
 
+// Timed-SW service model: the per-input-byte picosecond cost of running an
+// application on the ARM core instead of its coprocessor, calibrated from
+// the pure-software baseline runs (`vimsim -mode sw` on the EPXA4: IDEA
+// ~6.1 µs/B, ADPCM ~2.2 µs/B, vecadd ~0.24 µs/B — all linear in the input).
+// Admission control uses it to price the degraded path a shed job falls
+// back to when its deadline is provably unmeetable on the shell slots.
+func swPsPerByte(app string) float64 {
+	switch app {
+	case "idea":
+		return 6_120_000
+	case "adpcm":
+		return 2_200_000
+	case "vecadd":
+		return 240_000
+	}
+	// Unknown applications price like the most expensive known one, so a
+	// mispriced degrade never looks cheaper than it is.
+	return 6_120_000
+}
+
+// SWEstPs estimates a job's execution time on the timed-SW baseline path in
+// picoseconds. Like ExecEstPs it is a service model, not a simulation: the
+// degraded path runs the golden algorithm and charges this calibrated time.
+func SWEstPs(app string, size int) float64 {
+	return float64(size) * swPsPerByte(app)
+}
+
 // BaseBudgetPs is the fixed scheduling allowance inside every service-level
 // budget: headroom for queueing and configuration-port time that even the
 // smallest job needs before its own execution starts, sized so the pinned

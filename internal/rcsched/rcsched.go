@@ -73,6 +73,13 @@ type Config struct {
 	// instead of the full stream. With Stage false the serving loop is
 	// bit-identical to the pre-staging scheduler.
 	Stage bool
+	// Admit selects the admission-control mode: "" or AdmitOff serves
+	// every job on the shell slots (bit-identical to the
+	// pre-admission-control scheduler), AdmitReject sheds jobs whose
+	// deadline is provably unmeetable at admission, and AdmitDegrade sends
+	// them to the timed-SW baseline path instead. Jobs without a deadline
+	// are always admitted.
+	Admit string
 	// FramesPerSlot sizes each session's home partition (0 = page pool
 	// divided evenly across slots).
 	FramesPerSlot int
@@ -101,6 +108,13 @@ type JobReport struct {
 	Staged       bool   // ... via a pre-staged commit rather than a full stream
 	Missed       bool   // finished after its deadline
 	Faults       uint64 // the job session's translation faults
+
+	// Disposition is the admission decision: Admitted (served on a shell
+	// slot; Slot/timing fields as above), Degraded (served by the timed-SW
+	// baseline path; Slot is -1 and ExecPs is the calibrated SW estimate)
+	// or Rejected (shed at admission; Slot is -1, DonePs is the rejection
+	// instant and no latency is accumulated).
+	Disposition Disposition
 }
 
 // Report aggregates one serving run.
@@ -119,16 +133,41 @@ type Report struct {
 	MeanWaitPs      float64
 	MeanLatencyPs   float64
 
-	// P99LatencyPs is the nearest-rank 99th-percentile job latency;
-	// Misses/MissRate count jobs that finished after their deadline, over
-	// the jobs that carry one. StageCommits and StageCancels count
-	// pre-staged bitstreams that were swapped in, respectively discarded
-	// because their job dispatched elsewhere.
-	P99LatencyPs float64
-	Misses       int
-	MissRate     float64
-	StageCommits int
-	StageCancels int
+	// P99LatencyPs is the nearest-rank 99th-percentile latency over the
+	// jobs that completed (rejected jobs never complete; an empty
+	// completion set reports an explicit 0). P99AdmittedPs restricts the
+	// percentile to slot-served jobs — the population whose tail admission
+	// control promises to bound. Misses/MissRate count completed jobs that
+	// finished after their deadline, over the completed jobs that carry
+	// one. StageCommits and StageCancels count pre-staged bitstreams that
+	// were swapped in, respectively discarded because their job dispatched
+	// elsewhere.
+	P99LatencyPs  float64
+	P99AdmittedPs float64
+	Misses        int
+	MissRate      float64
+	StageCommits  int
+	StageCancels  int
+
+	// Admission-control aggregates. Admitted/Degraded/Rejected partition
+	// the stream by disposition (admission off: everything Admitted).
+	// Completed counts jobs that produced output (admitted + degraded);
+	// GoodJobs are completions that met their deadline (deadline-free
+	// completions count — any finished job is useful work). OfferedRPS is
+	// the stream's arrival rate over its arrival span; AchievedRPS and
+	// GoodputRPS are completions, respectively deadline-met completions,
+	// per second of makespan. ShedRate is the rejected fraction of the
+	// whole stream. All rates are explicit zeros when their denominator is
+	// empty (e.g. every job rejected).
+	Admitted    int
+	Degraded    int
+	Rejected    int
+	Completed   int
+	GoodJobs    int
+	OfferedRPS  float64
+	AchievedRPS float64
+	GoodputRPS  float64
+	ShedRate    float64
 
 	// SlotBusyPs is each slot's occupied time (reconfiguration + execution);
 	// UtilMean is the mean busy fraction of the makespan across slots.
@@ -225,6 +264,10 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("rcsched: unknown policy %q", cfg.Policy)
 	}
+	admit, err := admitMode(cfg.Admit)
+	if err != nil {
+		return nil, err
+	}
 	spec, ok := platform.SpecByName(cfg.Board)
 	if !ok {
 		return nil, fmt.Errorf("rcsched: unknown board %q", cfg.Board)
@@ -317,6 +360,81 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	estPs := func(j *Job) float64 { return ExecEstPs(j.App, j.Size, cfg.ShellHz) }
 	stageSlot := -1
 
+	// Admission control. swFreePs is the timed-SW server's next free
+	// instant — degraded jobs run the golden algorithm on the ARM core
+	// sequentially at the calibrated SW estimate, off the contended shell
+	// slots. unmeetable feeds the optimistic best-case estimator with the
+	// live slot, stage and queue state: a true result proves the deadline
+	// out of reach no matter what the policy does.
+	swFreePs := 0.0
+	unmeetable := func(ji int) bool {
+		j := &order[ji]
+		if admit == AdmitOff || j.DeadlinePs <= 0 {
+			return false
+		}
+		nowPs := eng.NowPs()
+		now := dom.Cycles()
+		freePs := make([]float64, cfg.Slots)
+		for s := range slots {
+			switch {
+			case slots[s].reconfigUntil >= 0:
+				freePs[s] = float64(slots[s].reconfigUntil-now)*periodPs + nowPs +
+					estPs(&order[slots[s].job])
+			case slots[s].mb != nil:
+				freePs[s] = slots[s].startPs + estPs(&order[slots[s].job])
+			default:
+				freePs[s] = nowPs
+			}
+		}
+		configPs := float64(reconfigEdges(apps[j.App].img)) * periodPs
+		for s := range slots {
+			if g.Shell.Slots[s].Resident() == j.coreName || g.Shell.Slots[s].Staged() == j.coreName {
+				configPs = 0 // the bitstream is already (or nearly) on board
+				break
+			}
+		}
+		queued := make([]*Job, len(queue))
+		for i, qi := range queue {
+			queued[i] = &order[qi]
+			if order[qi].coreName == j.coreName {
+				configPs = 0 // a job ahead may leave the bitstream resident
+			}
+		}
+		return bestCaseDonePs(nowPs, freePs, queued, estPs, j, configPs) > j.DeadlinePs
+	}
+	// shed records a rejected or degraded job's report the instant the
+	// decision is made; neither disposition ever touches a shell slot.
+	shed := func(ji int) {
+		j := &order[ji]
+		jr := JobReport{
+			ID: j.ID, App: j.App, Size: j.Size, Slot: -1,
+			ArrivalPs: j.ArrivalPs, DeadlinePs: j.DeadlinePs,
+		}
+		nowPs := eng.NowPs()
+		if admit == AdmitDegrade {
+			start := nowPs
+			if start < swFreePs {
+				start = swFreePs
+			}
+			done := start + SWEstPs(j.App, j.Size)
+			swFreePs = done
+			jr.Disposition = Degraded
+			jr.QueueWaitPs = start - j.ArrivalPs
+			jr.ExecPs = done - start
+			jr.LatencyPs = done - j.ArrivalPs
+			jr.DonePs = done
+			if j.DeadlinePs > 0 {
+				jr.LatenessPs = done - j.DeadlinePs
+				jr.Missed = jr.LatenessPs > 0
+			}
+		} else {
+			jr.Disposition = Rejected
+			jr.DonePs = nowPs
+		}
+		rep.Jobs[ji] = jr
+		completed++
+	}
+
 	// launch attaches job j's session onto slot s and starts it.
 	launch := func(s, j int) error {
 		a := apps[order[j].App]
@@ -342,10 +460,21 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	for completed < len(order) {
 		now := dom.Cycles()
 
-		// Admit every job whose arrival instant has passed.
+		// Admit every job whose arrival instant has passed, deciding its
+		// disposition on the spot: a provably-late job is shed (rejected,
+		// or degraded to the timed-SW path) instead of joining a queue it
+		// could never clear — overload sheds load instead of melting p99.
 		for nextArrival < len(order) && cycleOf(order[nextArrival].ArrivalPs) <= now {
-			queue = append(queue, nextArrival)
+			ji := nextArrival
 			nextArrival++
+			if unmeetable(ji) {
+				shed(ji)
+				continue
+			}
+			queue = append(queue, ji)
+		}
+		if completed == len(order) {
+			break // the tail of the stream was shed; nothing left to serve
 		}
 
 		// Complete due reconfigurations: the slot's new coprocessor is
@@ -627,40 +756,75 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	rep.SWDPPs = board.Kern.TL.Ps(stats.SWDP)
 	rep.SWIMUPs = board.Kern.TL.Ps(stats.SWIMU)
 	rep.SWOSPs = board.Kern.TL.Ps(stats.SWOS)
-	wait, lat := 0.0, 0.0
+	// Aggregates run over the *completed* population — rejected jobs never
+	// produced output, so folding their zero latencies in would flatter
+	// every mean and percentile. Each divided quantity keeps an explicit
+	// zero when its denominator is empty (all-rejected runs included);
+	// with admission off every job completes and the arithmetic reduces
+	// bit-for-bit to the pre-admission-control aggregates.
+	wait, lat, lastArrivalPs := 0.0, 0.0, 0.0
+	var lats, admLats []float64
+	deadlined := 0
 	for i := range rep.Jobs {
-		wait += rep.Jobs[i].QueueWaitPs
-		lat += rep.Jobs[i].LatencyPs
-		if rep.Jobs[i].DonePs > rep.MakespanPs {
-			rep.MakespanPs = rep.Jobs[i].DonePs
+		j := &rep.Jobs[i]
+		if j.ArrivalPs > lastArrivalPs {
+			lastArrivalPs = j.ArrivalPs
+		}
+		switch j.Disposition {
+		case Rejected:
+			rep.Rejected++
+			continue
+		case Degraded:
+			rep.Degraded++
+		default:
+			rep.Admitted++
+			admLats = append(admLats, j.LatencyPs)
+		}
+		rep.Completed++
+		wait += j.QueueWaitPs
+		lat += j.LatencyPs
+		lats = append(lats, j.LatencyPs)
+		if j.DonePs > rep.MakespanPs {
+			rep.MakespanPs = j.DonePs
+		}
+		if j.DeadlinePs > 0 {
+			deadlined++
+			if j.Missed {
+				rep.Misses++
+			} else {
+				rep.GoodJobs++
+			}
+		} else {
+			rep.GoodJobs++ // no SLO: any completion is useful work
 		}
 	}
-	rep.MeanWaitPs = wait / float64(len(rep.Jobs))
-	rep.MeanLatencyPs = lat / float64(len(rep.Jobs))
+	if rep.Completed > 0 {
+		rep.MeanWaitPs = wait / float64(rep.Completed)
+		rep.MeanLatencyPs = lat / float64(rep.Completed)
+	}
 	if rep.MakespanPs > 0 {
 		util := 0.0
 		for _, b := range rep.SlotBusyPs {
 			util += b / rep.MakespanPs
 		}
 		rep.UtilMean = util / float64(cfg.Slots)
+		rep.AchievedRPS = float64(rep.Completed) * 1e12 / rep.MakespanPs
+		rep.GoodputRPS = float64(rep.GoodJobs) * 1e12 / rep.MakespanPs
 	}
-	// Deadline aggregates: nearest-rank p99 latency, and the miss-rate over
-	// the jobs that carry a service-level objective.
-	lats := make([]float64, len(rep.Jobs))
-	deadlined := 0
-	for i := range rep.Jobs {
-		lats[i] = rep.Jobs[i].LatencyPs
-		if rep.Jobs[i].DeadlinePs > 0 {
-			deadlined++
-			if rep.Jobs[i].Missed {
-				rep.Misses++
-			}
-		}
-	}
+	// Deadline and admission aggregates: nearest-rank p99 over the
+	// completed population and its admitted subset, miss-rate over the
+	// completed deadlined jobs, offered load over the arrival span and the
+	// shed fraction of the whole stream.
 	sort.Float64s(lats)
-	rep.P99LatencyPs = lats[int(math.Ceil(0.99*float64(len(lats))))-1]
+	sort.Float64s(admLats)
+	rep.P99LatencyPs = stats.NearestRank(lats, 0.99)
+	rep.P99AdmittedPs = stats.NearestRank(admLats, 0.99)
 	if deadlined > 0 {
 		rep.MissRate = float64(rep.Misses) / float64(deadlined)
+	}
+	rep.ShedRate = float64(rep.Rejected) / float64(len(order))
+	if len(order) > 1 && lastArrivalPs > 0 {
+		rep.OfferedRPS = float64(len(order)-1) * 1e12 / lastArrivalPs
 	}
 	return rep, nil
 }
@@ -695,6 +859,7 @@ func finishJob(rep *Report, k *kernel.Kernel, job *Job, p *prepared, sr *slotRun
 		Reconfigured: sr.reconfigPs > 0,
 		Staged:       sr.stagedHit,
 		Faults:       mb.Sess.Count.Faults,
+		Disposition:  Admitted,
 	}
 	if job.DeadlinePs > 0 {
 		jr.LatenessPs = done - job.DeadlinePs

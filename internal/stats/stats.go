@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 )
@@ -150,6 +151,25 @@ func (tb *Table) Render() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// NearestRank returns the nearest-rank p-quantile (0 < p <= 1) of vals,
+// which must already be sorted ascending. An empty input has no latency
+// population to rank, so the result is an explicit 0 — never an index panic
+// or a NaN — letting aggregate reports over an empty (for example,
+// all-rejected) completion set stay zero-valued.
+func NearestRank(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("stats: NearestRank quantile %v outside (0,1]", p))
+	}
+	i := int(math.Ceil(p*float64(len(vals)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return vals[i]
 }
 
 // Bar renders an ASCII stacked bar of width chars for the given component

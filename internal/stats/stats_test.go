@@ -93,6 +93,43 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// TestNearestRankEmptyInput is the regression test for the aggregate
+// edge-case fix: the serving layer's p99 used to index lats[ceil(.99*n)-1]
+// directly, which panics with index -1 on an empty completion set (every
+// job rejected by admission control). NearestRank must return an explicit
+// 0 for n=0 instead.
+func TestNearestRankEmptyInput(t *testing.T) {
+	if got := NearestRank(nil, 0.99); got != 0 {
+		t.Fatalf("NearestRank(nil, 0.99) = %v, want explicit 0", got)
+	}
+	if got := NearestRank([]float64{}, 0.5); got != 0 {
+		t.Fatalf("NearestRank(empty, 0.5) = %v, want explicit 0", got)
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, c := range []struct {
+		p    float64
+		want float64
+	}{
+		{0.99, 10}, {1, 10}, {0.5, 5}, {0.1, 1}, {0.01, 1},
+	} {
+		if got := NearestRank(vals, c.p); got != c.want {
+			t.Errorf("NearestRank(1..10, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := NearestRank([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element p99 = %v, want 7", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range quantile did not panic")
+		}
+	}()
+	NearestRank(vals, 1.5)
+}
+
 func TestMsFormatting(t *testing.T) {
 	if Ms(1.5e9) != "1.50 ms" {
 		t.Fatalf("Ms = %q", Ms(1.5e9))

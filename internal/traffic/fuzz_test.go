@@ -1,0 +1,60 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzArrivals fuzzes the arrival generators over (n, seed, rps, process)
+// and pins the properties every stream must hold regardless of input:
+// strictly monotone arrivals, bit-identical replay for a fixed triple, and
+// — for the memoryless process on long streams — an empirical mean
+// interarrival within a statistical tolerance of 1/rps.
+func FuzzArrivals(f *testing.F) {
+	f.Add(uint16(32), int64(7), 800.0, uint8(0))
+	f.Add(uint16(64), int64(42), 1200.5, uint8(1))
+	f.Add(uint16(128), int64(-3), 250.0, uint8(2))
+	f.Add(uint16(256), int64(1), 5000.0, uint8(1))
+	f.Add(uint16(1024), int64(99), 1000.0, uint8(1))
+	f.Fuzz(func(t *testing.T, n uint16, seed int64, rps float64, proc uint8) {
+		if n == 0 || rps <= 0 || rps > 1e7 || math.IsNaN(rps) || math.IsInf(rps, 0) {
+			t.Skip("out of the generator's contract; Stream rejects these explicitly")
+		}
+		process := []string{Uniform, Poisson, Bursty}[int(proc)%3]
+		spec := Spec{Process: process, RPS: rps}
+		a, err := Stream(int(n), seed, spec)
+		if err != nil {
+			t.Fatalf("valid spec rejected: %v", err)
+		}
+		b, err := Stream(int(n), seed, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("identical (n, seed, rps) triple produced different streams")
+		}
+		last := 0.0
+		for _, j := range a {
+			if j.ArrivalPs <= last || math.IsNaN(j.ArrivalPs) || math.IsInf(j.ArrivalPs, 0) {
+				t.Fatalf("job %d arrival %v ps not strictly past its predecessor's %v ps",
+					j.ID, j.ArrivalPs, last)
+			}
+			last = j.ArrivalPs
+		}
+		// Mean interarrival: the memoryless process on a long stream must
+		// average to 1/rps. The tolerance is a loose large-deviation bound
+		// (relative error beyond ~8/sqrt(n) is vanishingly unlikely for
+		// exponential sums), so the check never flakes on an honest
+		// generator but catches any systematic rate error.
+		if process == Poisson && n >= 64 {
+			meanPs := a[len(a)-1].ArrivalPs / float64(n)
+			wantPs := 1e12 / rps
+			tol := 8 / math.Sqrt(float64(n))
+			if meanPs < wantPs*(1-tol) || meanPs > wantPs*(1+tol) {
+				t.Fatalf("mean interarrival %.0f ps strays from 1/rps = %.0f ps by more than %.0f%%",
+					meanPs, wantPs, tol*100)
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+// Golden determinism tests for the open-loop saturation layer: the RPS
+// ramp's detected knee and every pinned SATURATE cell — offered rate x
+// policy x admission mode — run under BOTH simulation schedulers, and the
+// measured metrics must match the committed values bit for bit.
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/rcsched"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// saturateCell is the pinned measurement record of one saturation cell.
+type saturateCell struct {
+	Admitted      int     `json:"admitted"`
+	Degraded      int     `json:"degraded"`
+	Rejected      int     `json:"rejected"`
+	GoodJobs      int     `json:"good_jobs"`
+	MakespanPs    float64 `json:"makespan_ps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	AchievedRPS   float64 `json:"achieved_rps"`
+	ShedRate      float64 `json:"shed_rate"`
+	P99LatencyPs  float64 `json:"p99_latency_ps"`
+	P99AdmittedPs float64 `json:"p99_admitted_ps"`
+	MissRate      float64 `json:"miss_rate"`
+	Faults        uint64  `json:"faults"`
+}
+
+func saturateCellOf(rep *rcsched.Report) saturateCell {
+	return saturateCell{
+		Admitted:      rep.Admitted,
+		Degraded:      rep.Degraded,
+		Rejected:      rep.Rejected,
+		GoodJobs:      rep.GoodJobs,
+		MakespanPs:    rep.MakespanPs,
+		GoodputRPS:    rep.GoodputRPS,
+		AchievedRPS:   rep.AchievedRPS,
+		ShedRate:      rep.ShedRate,
+		P99LatencyPs:  rep.P99LatencyPs,
+		P99AdmittedPs: rep.P99AdmittedPs,
+		MissRate:      rep.MissRate,
+		Faults:        rep.VIM.Faults,
+	}
+}
+
+// saturateCellSpec enumerates the pinned saturation cells: both deadline
+// policies at the detected knee and at twice the knee, with admission off,
+// rejecting, and degrading. The rate is a knee multiple rather than a raw
+// RPS so the fixture tracks the configuration's measured capacity.
+type saturateCellSpec struct {
+	policy string
+	admit  string
+	mult   float64
+}
+
+func allSaturateCells() []saturateCellSpec {
+	var cells []saturateCellSpec
+	for _, mult := range []float64{1, 2} {
+		for _, policy := range []string{"slack", "edf"} {
+			for _, admit := range []string{rcsched.AdmitOff, rcsched.AdmitReject, rcsched.AdmitDegrade} {
+				cells = append(cells, saturateCellSpec{policy, admit, mult})
+			}
+		}
+	}
+	return cells
+}
+
+func (c saturateCellSpec) name() string {
+	return fmt.Sprintf("%s/%s/%gx", c.policy, c.admit, c.mult)
+}
+
+func (c saturateCellSpec) run(kneeRPS float64) (*rcsched.Report, error) {
+	jobs, err := exp.SaturateStream(c.mult * kneeRPS)
+	if err != nil {
+		return nil, err
+	}
+	return rcsched.Serve(exp.SaturateConfig(c.policy, c.admit), jobs)
+}
+
+const saturateCellsPath = "testdata/saturate_cells.json"
+
+// saturateGolden is the committed golden file: the ramp's detected knee
+// plus every pinned cell.
+type saturateGolden struct {
+	KneeRPS       float64                 `json:"knee_rps"`
+	SaturationRPS float64                 `json:"saturation_rps"`
+	Cells         map[string]saturateCell `json:"cells"`
+}
+
+// TestGoldenSaturateCells pins the saturation experiment end to end under
+// both the lockstep reference scheduler and the event-driven default (which
+// must agree bit for bit): first the RPS ramp's detected knee, then every
+// offered-rate x policy x admission cell at the knee and past it, enforcing
+// the committed golden file. Regenerate with -update-golden.
+func TestGoldenSaturateCells(t *testing.T) {
+	var want *saturateGolden
+	if !*updateGolden {
+		data, err := os.ReadFile(saturateCellsPath)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+		}
+		want = &saturateGolden{}
+		if err := json.Unmarshal(data, want); err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Cells) != len(allSaturateCells()) {
+			t.Errorf("golden file has %d cells, expected %d", len(want.Cells), len(allSaturateCells()))
+		}
+	}
+
+	// The ramp itself is part of the fixture: both schedulers must detect
+	// the same knee, and the committed knee must not drift.
+	ramp := func() (*traffic.Ramp, error) {
+		return exp.SaturateRamp(exp.SaturateConfig("slack", rcsched.AdmitOff))
+	}
+	lockRamp, err := runWith(sim.Lockstep, ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evntRamp, err := runWith(sim.EventDriven, ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lockRamp.KneeRPS != evntRamp.KneeRPS || lockRamp.SaturationRPS != evntRamp.SaturationRPS {
+		t.Fatalf("schedulers disagree on the knee: lockstep %.0f/%.0f, event %.0f/%.0f",
+			lockRamp.KneeRPS, lockRamp.SaturationRPS, evntRamp.KneeRPS, evntRamp.SaturationRPS)
+	}
+	if lockRamp.SaturationRPS == 0 {
+		t.Fatal("the canonical ramp never saturated the board")
+	}
+	if want != nil && (lockRamp.KneeRPS != want.KneeRPS || lockRamp.SaturationRPS != want.SaturationRPS) {
+		t.Errorf("knee drifted: got %.0f/%.0f, want %.0f/%.0f",
+			lockRamp.KneeRPS, lockRamp.SaturationRPS, want.KneeRPS, want.SaturationRPS)
+	}
+	knee := lockRamp.KneeRPS
+
+	got := map[string]saturateCell{}
+	for _, spec := range allSaturateCells() {
+		spec := spec
+		t.Run(spec.name(), func(t *testing.T) {
+			run := func() (*rcsched.Report, error) { return spec.run(knee) }
+			lockRep, err := runWith(sim.Lockstep, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evntRep, err := runWith(sim.EventDriven, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lock, evnt := saturateCellOf(lockRep), saturateCellOf(evntRep)
+			if lock != evnt {
+				t.Errorf("schedulers disagree:\n lockstep %+v\n event    %+v", lock, evnt)
+			}
+			got[spec.name()] = lock
+			if want != nil {
+				w, ok := want.Cells[spec.name()]
+				if !ok {
+					t.Errorf("cell %s missing from golden file (re-run with -update-golden)", spec.name())
+				} else if lock != w {
+					t.Errorf("cell drifted:\n got  %+v\n want %+v", lock, w)
+				}
+			}
+		})
+	}
+
+	// The acceptance property of the admission-control work, asserted on
+	// the pinned cells themselves: past saturation (twice the detected
+	// knee), shedding provably-late jobs strictly improves goodput and
+	// strictly tightens the admitted-job p99 against admitting everything,
+	// for both deadline policies — and actually sheds something, or the
+	// comparison is vacuous. At the knee, admission must stay close to
+	// inert: a healthy board should not shed its whole stream.
+	for _, policy := range []string{"slack", "edf"} {
+		off, okOff := got[policy+"/off/2x"]
+		rej, okRej := got[policy+"/reject/2x"]
+		if !okOff || !okRej {
+			continue // a -run subtest filter skipped one side
+		}
+		if rej.Rejected == 0 {
+			t.Errorf("%s: admission shed nothing at 2x the knee", policy)
+		}
+		if rej.GoodputRPS <= off.GoodputRPS {
+			t.Errorf("%s: admission goodput %.0f jobs/s not above admit-everything's %.0f",
+				policy, rej.GoodputRPS, off.GoodputRPS)
+		}
+		if rej.P99AdmittedPs >= off.P99AdmittedPs {
+			t.Errorf("%s: admitted-job p99 %.3f ms not below admit-everything's %.3f ms",
+				policy, rej.P99AdmittedPs/1e9, off.P99AdmittedPs/1e9)
+		}
+		if knee1, ok := got[policy+"/reject/1x"]; ok && knee1.Rejected > knee1.Admitted {
+			t.Errorf("%s: admission shed most of a knee-rate stream (%d of %d)",
+				policy, knee1.Rejected, knee1.Admitted+knee1.Rejected)
+		}
+		if deg, ok := got[policy+"/degrade/2x"]; ok && deg.Rejected != 0 {
+			t.Errorf("%s: degrade mode rejected %d jobs outright", policy, deg.Rejected)
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(&saturateGolden{
+			KneeRPS:       lockRamp.KneeRPS,
+			SaturationRPS: lockRamp.SaturationRPS,
+			Cells:         got,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(saturateCellsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cells to %s (knee %.0f jobs/s)", len(got), saturateCellsPath, lockRamp.KneeRPS)
+	}
+}
