@@ -12,6 +12,7 @@ import (
 
 	"repro"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/platform"
 	"repro/internal/rcsched"
 )
@@ -287,6 +288,35 @@ func BenchmarkServe(b *testing.B) {
 				reportSim(b, "sim-ms-p99-admitted", rep.P99AdmittedPs)
 				b.ReportMetric(rep.GoodputRPS, "goodput-rps")
 				b.ReportMetric(rep.ShedRate, "shed-rate")
+				b.ReportMetric(rep.MissRate, "miss-rate")
+			}
+		})
+	}
+}
+
+// BenchmarkFleet runs the fleet dispatch cells: the FLEET stream — twice
+// the single-board knee per board, 1600 jobs/s x 4 boards per the pinned
+// SATURATE ramp (testdata/saturate_cells.json) — dispatched across four
+// two-slot boards under the uninformed baseline and both locality-aware
+// policies. Publishes fleet goodput, p99 and config-traffic metrics next to
+// the host-side cost of routing plus concurrent board serving.
+func BenchmarkFleet(b *testing.B) {
+	jobs, err := exp.FleetStream(4, 800)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dispatch := range []string{fleet.Random, fleet.Affinity, fleet.Po2} {
+		b.Run(dispatch, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(exp.FleetConfig(dispatch, 4, rcsched.AdmitOff), jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSim(b, "sim-ms-makespan", rep.MakespanPs)
+				reportSim(b, "sim-ms-config", rep.TotalReconfigPs)
+				reportSim(b, "sim-ms-p99", rep.P99LatencyPs)
+				b.ReportMetric(rep.GoodputRPS, "goodput-rps")
+				b.ReportMetric(float64(rep.Reconfigs), "reconfigs")
 				b.ReportMetric(rep.MissRate, "miss-rate")
 			}
 		})

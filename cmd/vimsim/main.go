@@ -20,6 +20,9 @@
 //	vimsim -mode saturate -rps 2000 -admit reject  # ... shedding late jobs
 //	vimsim -mode saturate -arrival bursty -rps 800 # on/off burst arrivals
 //	vimsim -mode saturate -ramp                    # sweep RPS to the knee
+//	vimsim -mode fleet -boards 4 -rps 6400         # dispatch across 4 boards
+//	vimsim -mode fleet -dispatch affinity -admit reject
+//	vimsim -mode fleet -boards 8 -dispatch po2 -ramp
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/ideautil"
 	"repro/internal/platform"
 	"repro/internal/rcsched"
@@ -47,7 +51,7 @@ func main() {
 	size := flag.Int("size", 16384, "input size in bytes (vecadd: per-vector bytes)")
 	board := flag.String("board", "EPXA1", "board: EPXA1 | EPXA4 | EPXA10")
 	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random; serve mode: scheduling policy: fcfs | sjf | affinity | edf | slack")
-	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi | serve | saturate")
+	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi | serve | saturate | fleet")
 	arb := flag.String("arb", "static", "multi mode: inter-session arbitration: static | global-lru")
 	split := flag.Int("split", 0, "multi mode: page frames for the IDEA session (0 = half the pool)")
 	slots := flag.Int("slots", 2, "serve mode: reconfigurable shell slots")
@@ -59,7 +63,9 @@ func main() {
 	rps := flag.Float64("rps", 800, "saturate mode: offered arrival rate, jobs/s")
 	arrival := flag.String("arrival", "poisson", "saturate mode: arrival process: uniform | poisson | bursty")
 	admit := flag.String("admit", "off", "saturate mode: admission control: off | reject | degrade")
-	ramp := flag.Bool("ramp", false, "saturate mode: sweep offered RPS up a linear ramp to the saturation knee instead of serving one rate")
+	ramp := flag.Bool("ramp", false, "saturate/fleet mode: sweep offered RPS up a linear ramp to the saturation knee instead of serving one rate")
+	boards := flag.Int("boards", 4, "fleet mode: independent boards behind the dispatcher")
+	dispatch := flag.String("dispatch", "least-loaded", "fleet mode: dispatch policy: random | least-loaded | affinity | po2")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined IMU")
 	bounce := flag.Bool("bounce", false, "use the double-transfer (bounce buffer) page path")
 	prefetch := flag.Int("prefetch", 0, "sequential prefetch pages per fault")
@@ -101,6 +107,8 @@ func main() {
 			{*arrival != "poisson", "-arrival"},
 			{*admit != "off", "-admit"},
 			{*ramp, "-ramp"},
+			{*boards != 4, "-boards"},
+			{*dispatch != "least-loaded", "-dispatch"},
 		} {
 			if f.set {
 				log.Fatalf("mode serve does not support %s (serves the generated mixed trace on a static-partition shell)", f.name)
@@ -133,6 +141,8 @@ func main() {
 			{*split != 0, "-split"},
 			{*vcdPath != "", "-vcd"},
 			{*gap != 0.15, "-gap"},
+			{*boards != 4, "-boards"},
+			{*dispatch != "least-loaded", "-dispatch"},
 		} {
 			if f.set {
 				log.Fatalf("mode saturate does not support %s (open-loop arrivals come from -arrival and -rps)", f.name)
@@ -147,14 +157,55 @@ func main() {
 		}
 		return
 	}
+	if *mode == "fleet" {
+		pol := *policy
+		if pol == "fifo" { // the single-run flag default; serving defaults to FCFS
+			pol = "fcfs"
+		}
+		// Reject flags the fleet dispatcher would silently ignore, matching
+		// saturate mode: the stream fixes the application mix and open-loop
+		// arrivals come from -arrival and -rps.
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*pipelined, "-pipelined"},
+			{*bounce, "-bounce"},
+			{*prefetch != 0, "-prefetch"},
+			{*app != "idea", "-app"},
+			{*size != 16384, "-size"},
+			{*arb != "static", "-arb"},
+			{*split != 0, "-split"},
+			{*vcdPath != "", "-vcd"},
+			{*gap != 0.15, "-gap"},
+		} {
+			if f.set {
+				log.Fatalf("mode fleet does not support %s (open-loop arrivals come from -arrival and -rps)", f.name)
+			}
+		}
+		if *boards <= 0 {
+			log.Fatalf("fleet: -boards must be positive, got %d", *boards)
+		}
+		if err := validateSaturate(*rps, *arrival, *admit, *budget, *jobs); err != nil {
+			log.Fatal(err)
+		}
+		if err := runFleet(*board, pol, *dispatch, *boards, *slots, *jobs, *bw, *budget,
+			*seed, *stage, *rps, *arrival, *admit, *ramp); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *stage {
-		log.Fatalf("-stage only applies to -mode serve or saturate")
+		log.Fatalf("-stage only applies to -mode serve, saturate or fleet")
 	}
 	if *budget != rcsched.DefaultBudgetFactor {
-		log.Fatalf("-budget only applies to -mode serve or saturate")
+		log.Fatalf("-budget only applies to -mode serve, saturate or fleet")
 	}
 	if *ramp || *rps != 800 || *arrival != "poisson" || *admit != "off" {
-		log.Fatalf("-rps, -arrival, -admit and -ramp only apply to -mode saturate")
+		log.Fatalf("-rps, -arrival, -admit and -ramp only apply to -mode saturate or fleet")
+	}
+	if *boards != 4 || *dispatch != "least-loaded" {
+		log.Fatalf("-boards and -dispatch only apply to -mode fleet")
 	}
 
 	if *mode == "multi" {
@@ -554,6 +605,126 @@ func runSaturate(board, policy string, slots, jobs int, bw, budget float64, seed
 			}
 			fmt.Printf("  #%-3d %-7s %5d B  slot %d  arrive %7.3f  wait %7.3f  exec %7.3f  done %7.3f  dl %7.3f ms %s\n",
 				j.ID, j.App, j.Size, j.Slot, j.ArrivalPs/1e9, j.QueueWaitPs/1e9, j.ExecPs/1e9,
+				j.DonePs/1e9, j.DeadlinePs/1e9, slo)
+		}
+	}
+	return nil
+}
+
+// runFleet dispatches one open-loop stream across a pool of independent
+// boards — or, with ramp, sweeps offered RPS up a linear ramp until the
+// overload detector fires on the merged fleet report — and prints the
+// fleet-wide aggregates, the per-board breakdown and the routed job log.
+func runFleet(board, policy, dispatch string, boards, slots, jobs int, bw, budget float64,
+	seed int64, stage bool, rps float64, arrival, admit string, ramp bool) error {
+	cfg := fleet.Config{
+		Boards:   boards,
+		Dispatch: dispatch,
+		Seed:     seed,
+		Board: rcsched.Config{
+			Board:    board,
+			Slots:    slots,
+			Policy:   policy,
+			ConfigBW: bw,
+			Stage:    stage,
+			Admit:    admit,
+		},
+	}
+	spec := traffic.Spec{Process: arrival, RPS: rps}
+
+	if ramp {
+		// Sweep from a quarter of the target rate up to three times it.
+		res, err := fleet.FindKnee(cfg, spec, traffic.RampSpec{
+			StartRPS: rps / 4,
+			StepRPS:  rps / 4,
+			Steps:    12,
+			Jobs:     jobs,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mode        fleet ramp (%d boards, %s dispatch, %s arrivals, %d jobs per step, seed %d)\n",
+			boards, dispatch, arrival, jobs, seed)
+		fmt.Printf("board       %s x%d\n", board, boards)
+		fmt.Printf("policy      %s (%d slots, admission %s)\n", policy, slots, admit)
+		fmt.Printf("detector    >%.0f%% of any %d consecutive jobs failing, window over the merged arrival order\n",
+			100*traffic.DefaultThreshold, traffic.DefaultWindow)
+		fmt.Println("ramp        target | offered | achieved | goodput RPS | shed | miss | p99 ms")
+		for _, p := range res.Points {
+			over := ""
+			if p.Overloaded {
+				over = "  <- overloaded"
+			}
+			fmt.Printf("  %10.0f | %7.0f | %8.0f | %11.0f | %.2f | %.2f | %7.3f%s\n",
+				p.RPS, p.OfferedRPS, p.AchievedRPS, p.GoodputRPS, p.ShedRate, p.MissRate,
+				p.P99LatencyPs/1e9, over)
+		}
+		if res.SaturationRPS == 0 {
+			fmt.Printf("knee        not reached: the fleet keeps up through %.0f jobs/s\n",
+				res.Points[len(res.Points)-1].RPS)
+			return nil
+		}
+		fmt.Printf("knee        %.0f jobs/s (saturates at %.0f)\n", res.KneeRPS, res.SaturationRPS)
+		return nil
+	}
+
+	stream, err := traffic.Stream(jobs, seed, spec)
+	if err != nil {
+		return err
+	}
+	if budget == 0 {
+		for i := range stream {
+			stream[i].DeadlinePs = 0
+		}
+	} else if budget != rcsched.DefaultBudgetFactor {
+		rcsched.SetBudgets(stream, budget)
+	}
+	rep, err := fleet.Run(cfg, stream)
+	if err != nil {
+		return err
+	}
+	boardOf := make(map[int]int, len(rep.Decisions))
+	for _, d := range rep.Decisions {
+		boardOf[d.Job] = d.Board
+	}
+	fmt.Printf("mode        fleet (%s arrivals at %.0f jobs/s, %d jobs, seed %d, budget factor %g)\n",
+		arrival, rps, jobs, seed, budget)
+	fmt.Printf("board       %s x%d (%d slots each)\n", board, boards, slots)
+	fmt.Printf("dispatch    %s\n", rep.Dispatch)
+	fmt.Printf("policy      %s (admission %s)\n", policy, admit)
+	fmt.Printf("offered     %.0f jobs/s measured\n", rep.OfferedRPS)
+	fmt.Printf("achieved    %.0f jobs/s (%d of %d completed)\n", rep.AchievedRPS, rep.Completed, len(rep.Jobs))
+	fmt.Printf("goodput     %.0f jobs/s met their deadline\n", rep.GoodputRPS)
+	fmt.Printf("admission   %d admitted, %d degraded, %d rejected (shed rate %.2f)\n",
+		rep.Admitted, rep.Degraded, rep.Rejected, rep.ShedRate)
+	fmt.Printf("overloaded  %v\n", fleet.Overloaded(rep, 0, 0))
+	fmt.Printf("makespan    %.3f ms\n", rep.MakespanPs/1e9)
+	fmt.Printf("p99 lat.    %.3f ms (admitted only: %.3f ms)\n", rep.P99LatencyPs/1e9, rep.P99AdmittedPs/1e9)
+	fmt.Printf("deadlines   %d missed (miss rate %.2f over completed)\n", rep.Misses, rep.MissRate)
+	fmt.Printf("reconfigs   %d (%.3f ms fleet-wide on the config ports)\n", rep.Reconfigs, rep.TotalReconfigPs/1e9)
+	fmt.Printf("utilisation %.2f mean per board (spread %.2f-%.2f)\n", rep.UtilMean, rep.UtilMin, rep.UtilMax)
+	fmt.Println("boards")
+	for b, br := range rep.Boards {
+		fmt.Printf("  board %-2d  %3d jobs  %2d reconfigs (%7.3f ms)  %2d missed  goodput %5.0f jobs/s\n",
+			b, len(br.Jobs), br.Reconfigs, br.TotalReconfigPs/1e9, br.Misses, br.GoodputRPS)
+	}
+	fmt.Println("jobs        (merged arrival order)")
+	for _, j := range rep.Jobs {
+		switch j.Disposition {
+		case rcsched.Rejected:
+			fmt.Printf("  #%-3d %-7s %5d B  board %-2d REJECTED at %7.3f ms (deadline %7.3f ms)\n",
+				j.ID, j.App, j.Size, boardOf[j.ID], j.DonePs/1e9, j.DeadlinePs/1e9)
+		case rcsched.Degraded:
+			fmt.Printf("  #%-3d %-7s %5d B  board %-2d degraded: SW exec %7.3f  done %7.3f  dl %7.3f ms\n",
+				j.ID, j.App, j.Size, boardOf[j.ID], j.ExecPs/1e9, j.DonePs/1e9, j.DeadlinePs/1e9)
+		default:
+			slo := "met "
+			if j.Missed {
+				slo = fmt.Sprintf("LATE %+.2f", j.LatenessPs/1e9)
+			}
+			fmt.Printf("  #%-3d %-7s %5d B  board %-2d arrive %7.3f  wait %7.3f  exec %7.3f  done %7.3f  dl %7.3f ms %s\n",
+				j.ID, j.App, j.Size, boardOf[j.ID], j.ArrivalPs/1e9, j.QueueWaitPs/1e9, j.ExecPs/1e9,
 				j.DonePs/1e9, j.DeadlinePs/1e9, slo)
 		}
 	}

@@ -1,0 +1,206 @@
+// Golden determinism tests for the fleet dispatch layer: every pinned FLEET
+// cell — dispatch policy x pool size at twice the single-board knee per
+// board — runs under BOTH simulation schedulers, and the measured fleet
+// aggregates must match the committed values bit for bit. The acceptance
+// property of the fleet work is asserted on the pinned cells themselves:
+// at 4 boards the locality-aware policies strictly beat seeded-random
+// routing on goodput AND fleet-wide configuration traffic.
+package repro_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/fleet"
+	"repro/internal/rcsched"
+	"repro/internal/sim"
+)
+
+// fleetCell is the pinned measurement record of one fleet cell.
+type fleetCell struct {
+	GoodJobs        int     `json:"good_jobs"`
+	Misses          int     `json:"misses"`
+	Reconfigs       int     `json:"reconfigs"`
+	TotalReconfigPs float64 `json:"total_reconfig_ps"`
+	MakespanPs      float64 `json:"makespan_ps"`
+	GoodputRPS      float64 `json:"goodput_rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	P99LatencyPs    float64 `json:"p99_latency_ps"`
+	MissRate        float64 `json:"miss_rate"`
+	UtilMin         float64 `json:"util_min"`
+	UtilMean        float64 `json:"util_mean"`
+	UtilMax         float64 `json:"util_max"`
+}
+
+func fleetCellOf(rep *fleet.Report) fleetCell {
+	return fleetCell{
+		GoodJobs:        rep.GoodJobs,
+		Misses:          rep.Misses,
+		Reconfigs:       rep.Reconfigs,
+		TotalReconfigPs: rep.TotalReconfigPs,
+		MakespanPs:      rep.MakespanPs,
+		GoodputRPS:      rep.GoodputRPS,
+		AchievedRPS:     rep.AchievedRPS,
+		P99LatencyPs:    rep.P99LatencyPs,
+		MissRate:        rep.MissRate,
+		UtilMin:         rep.UtilMin,
+		UtilMean:        rep.UtilMean,
+		UtilMax:         rep.UtilMax,
+	}
+}
+
+// fleetCellSpec enumerates the pinned fleet cells: every dispatch policy
+// over pools of 2, 4 and 8 boards, offered twice the single-board knee per
+// board. The rate is a knee multiple rather than a raw RPS so the fixture
+// tracks the configuration's measured capacity, like the SATURATE cells.
+type fleetCellSpec struct {
+	dispatch string
+	boards   int
+}
+
+func allFleetCells() []fleetCellSpec {
+	var cells []fleetCellSpec
+	for _, boards := range exp.FleetBoardCounts() {
+		for _, dispatch := range exp.FleetDispatches() {
+			cells = append(cells, fleetCellSpec{dispatch, boards})
+		}
+	}
+	return cells
+}
+
+func (c fleetCellSpec) name() string {
+	return fmt.Sprintf("%s/%db", c.dispatch, c.boards)
+}
+
+func (c fleetCellSpec) run(kneeRPS float64) (*fleet.Report, error) {
+	jobs, err := exp.FleetStream(c.boards, kneeRPS)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.Run(exp.FleetConfig(c.dispatch, c.boards, rcsched.AdmitOff), jobs)
+}
+
+const fleetCellsPath = "testdata/fleet_cells.json"
+
+// fleetGolden is the committed golden file: the single-board knee the
+// offered rates scale from, plus every pinned cell.
+type fleetGolden struct {
+	KneeRPS float64              `json:"knee_rps"`
+	Cells   map[string]fleetCell `json:"cells"`
+}
+
+// TestGoldenFleetCells pins the fleet experiment end to end under both the
+// lockstep reference scheduler and the event-driven default (which must
+// agree bit for bit): the single-board knee the stream scales from, then
+// every dispatch x pool-size cell, enforcing the committed golden file.
+// Regenerate with -update-golden.
+func TestGoldenFleetCells(t *testing.T) {
+	if raceEnabled {
+		t.Skip("fleet golden sweep under -race: see race_enabled_test.go")
+	}
+	var want *fleetGolden
+	if !*updateGolden {
+		data, err := os.ReadFile(fleetCellsPath)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+		}
+		want = &fleetGolden{}
+		if err := json.Unmarshal(data, want); err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Cells) != len(allFleetCells()) {
+			t.Errorf("golden file has %d cells, expected %d", len(want.Cells), len(allFleetCells()))
+		}
+	}
+
+	// The knee the fleet rates scale from is the saturation fixture's: both
+	// schedulers must agree, and the committed value must not drift.
+	ramp := func() (float64, error) {
+		r, err := exp.SaturateRamp(exp.SaturateConfig("slack", rcsched.AdmitOff))
+		if err != nil {
+			return 0, err
+		}
+		return r.KneeRPS, nil
+	}
+	lockKnee, err := runWith(sim.Lockstep, ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evntKnee, err := runWith(sim.EventDriven, ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lockKnee != evntKnee {
+		t.Fatalf("schedulers disagree on the single-board knee: lockstep %.0f, event %.0f", lockKnee, evntKnee)
+	}
+	if lockKnee == 0 {
+		t.Fatal("the canonical ramp found no knee to scale the fleet rates from")
+	}
+	if want != nil && lockKnee != want.KneeRPS {
+		t.Errorf("knee drifted: got %.0f, want %.0f", lockKnee, want.KneeRPS)
+	}
+
+	got := map[string]fleetCell{}
+	for _, spec := range allFleetCells() {
+		spec := spec
+		t.Run(spec.name(), func(t *testing.T) {
+			run := func() (*fleet.Report, error) { return spec.run(lockKnee) }
+			lockRep, err := runWith(sim.Lockstep, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evntRep, err := runWith(sim.EventDriven, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lock, evnt := fleetCellOf(lockRep), fleetCellOf(evntRep)
+			if lock != evnt {
+				t.Errorf("schedulers disagree:\n lockstep %+v\n event    %+v", lock, evnt)
+			}
+			got[spec.name()] = lock
+			if want != nil {
+				w, ok := want.Cells[spec.name()]
+				if !ok {
+					t.Errorf("cell %s missing from golden file (re-run with -update-golden)", spec.name())
+				} else if lock != w {
+					t.Errorf("cell drifted:\n got  %+v\n want %+v", lock, w)
+				}
+			}
+		})
+	}
+
+	// The acceptance property of the fleet work, asserted on the pinned
+	// cells themselves: at 2x the single-board knee per board on 4 boards,
+	// the locality-aware policies strictly beat seeded-random routing on
+	// goodput AND on fleet-wide configuration traffic.
+	if random, ok := got["random/4b"]; ok {
+		for _, dispatch := range []string{fleet.Affinity, fleet.Po2} {
+			cell, ok := got[dispatch+"/4b"]
+			if !ok {
+				continue // a -run subtest filter skipped the cell
+			}
+			if cell.GoodputRPS <= random.GoodputRPS {
+				t.Errorf("%s goodput %.0f jobs/s not above random's %.0f at 4 boards",
+					dispatch, cell.GoodputRPS, random.GoodputRPS)
+			}
+			if cell.TotalReconfigPs >= random.TotalReconfigPs {
+				t.Errorf("%s config traffic %.3f ms not below random's %.3f ms at 4 boards",
+					dispatch, cell.TotalReconfigPs/1e9, random.TotalReconfigPs/1e9)
+			}
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(&fleetGolden{KneeRPS: lockKnee, Cells: got}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fleetCellsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d cells to %s (knee %.0f jobs/s)", len(got), fleetCellsPath, lockKnee)
+	}
+}

@@ -303,6 +303,9 @@ func TestDifferentialExperiments(t *testing.T) {
 	for _, e := range exp.All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			if raceEnabled && e.ID == "FLEET" {
+				t.Skip("fleet sweep under -race: see race_enabled_test.go")
+			}
 			lock, err := runWith(sim.Lockstep, e.Run)
 			if err != nil {
 				t.Fatal(err)

@@ -56,6 +56,7 @@ func All() []Experiment {
 		{ID: "SERVE", Title: "Dynamic reconfiguration scheduler: multi-user job serving (policy x slots x config bandwidth)", Run: RunServe},
 		{ID: "DEADLINE", Title: "Deadline-aware serving with pre-staged reconfiguration (policy x staging x bandwidth x budget)", Run: RunDeadline},
 		{ID: "SATURATE", Title: "Open-loop saturation: offered-RPS ramp, overload detection and admission control", Run: RunSaturate},
+		{ID: "FLEET", Title: "Fleet-scale serving: dispatch policy x pool size over independent boards", Run: RunFleet},
 	}
 }
 

@@ -263,10 +263,42 @@ func TestSaturateShape(t *testing.T) {
 	}
 }
 
+func TestFleetShape(t *testing.T) {
+	res := run(t, "FLEET")
+	if res.Series["knee_rps"] <= 0 {
+		t.Fatal("fleet experiment found no single-board knee to scale from")
+	}
+	// The headline acceptance property, at 4 boards offered 2x the knee per
+	// board: the locality-aware policies strictly beat seeded-random routing
+	// on goodput AND on fleet-wide configuration traffic. Residency is a
+	// resource the dispatcher can conserve, not just a tiebreak.
+	for _, d := range []string{"affinity", "po2"} {
+		if !(res.Series["goodput_rps/"+d+"/4"] > res.Series["goodput_rps/random/4"]) {
+			t.Errorf("%s goodput %.0f jobs/s not above random's %.0f at 4 boards",
+				d, res.Series["goodput_rps/"+d+"/4"], res.Series["goodput_rps/random/4"])
+		}
+		if !(res.Series["config_ms/"+d+"/4"] < res.Series["config_ms/random/4"]) {
+			t.Errorf("%s config traffic %.3f ms not below random's %.3f ms at 4 boards",
+				d, res.Series["config_ms/"+d+"/4"], res.Series["config_ms/random/4"])
+		}
+	}
+	// Admission through the dispatcher actually sheds under overload, and
+	// (pinned-stream property) shedding helps goodput as it did single-board.
+	for _, d := range []string{"random", "affinity"} {
+		if res.Series["admit_shed_rate/"+d+"/reject/4"] == 0 {
+			t.Errorf("%s: fleet admission shed nothing at 2x the knee per board", d)
+		}
+		if !(res.Series["admit_goodput_rps/"+d+"/reject/4"] > res.Series["admit_goodput_rps/"+d+"/off/4"]) {
+			t.Errorf("%s: fleet admission goodput %.0f not above admit-everything's %.0f",
+				d, res.Series["admit_goodput_rps/"+d+"/reject/4"], res.Series["admit_goodput_rps/"+d+"/off/4"])
+		}
+	}
+}
+
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"FIG3", "FIG7", "FIG8", "FIG9", "OVERHEAD", "PORT",
 		"POLICY", "BOUNCE", "PIPELINE", "PREFETCH", "PAGESIZE", "CHUNK",
-		"SESSIONS", "SERVE", "DEADLINE", "SATURATE"}
+		"SESSIONS", "SERVE", "DEADLINE", "SATURATE", "FLEET"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

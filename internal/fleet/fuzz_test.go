@@ -1,0 +1,108 @@
+package fleet_test
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/rcsched"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// boardHashes digests every board's final report — the per-job reports plus
+// the aggregates — so scheduler agreement can be asserted board by board.
+func boardHashes(t *testing.T, rep *fleet.Report) [][32]byte {
+	t.Helper()
+	out := make([][32]byte, len(rep.Boards))
+	for i, br := range rep.Boards {
+		data, err := json.Marshal(br)
+		if err != nil {
+			t.Fatalf("board %d report not hashable: %v", i, err)
+		}
+		out[i] = sha256.Sum256(data)
+	}
+	return out
+}
+
+// FuzzDispatch fuzzes the fleet dispatcher over (stream length, stream seed,
+// offered rate, arrival process, board count, dispatch policy, dispatch
+// seed, admission mode) and pins the properties no input may break: no
+// panics, conservation (every generated job exactly once, dispositions
+// summing to the stream), in-range routing decisions, and bit-identical
+// per-board reports under the lockstep and event-driven sim schedulers.
+func FuzzDispatch(f *testing.F) {
+	f.Add(uint8(24), int64(7), 1600.0, uint8(1), uint8(2), uint8(0), int64(99), uint8(0))
+	f.Add(uint8(48), int64(1717), 6400.0, uint8(1), uint8(4), uint8(2), int64(1), uint8(1))
+	f.Add(uint8(96), int64(4242), 12800.0, uint8(2), uint8(8), uint8(3), int64(-3), uint8(2))
+	f.Add(uint8(12), int64(-1), 400.0, uint8(0), uint8(1), uint8(1), int64(0), uint8(0))
+	f.Add(uint8(64), int64(55), 25600.0, uint8(2), uint8(5), uint8(2), int64(7), uint8(1))
+	f.Fuzz(func(t *testing.T, n uint8, seed int64, rps float64, proc uint8,
+		boards uint8, disp uint8, dispatchSeed int64, admit uint8) {
+		if n == 0 || rps <= 0 || rps > 1e6 {
+			t.Skip("outside the generator's contract")
+		}
+		if boards == 0 || boards > 12 {
+			t.Skip("board count outside the fuzzed pool range")
+		}
+		process := []string{traffic.Uniform, traffic.Poisson, traffic.Bursty}[int(proc)%3]
+		jobs, err := traffic.Stream(int(n), seed, traffic.Spec{Process: process, RPS: rps})
+		if err != nil {
+			t.Skip("stream spec rejected")
+		}
+		cfg := fleet.Config{
+			Boards:   int(boards),
+			Dispatch: allDispatches()[int(disp)%4],
+			Seed:     dispatchSeed,
+			Board: rcsched.Config{
+				Policy: "slack",
+				Slots:  2,
+				Admit:  []string{rcsched.AdmitOff, rcsched.AdmitReject, rcsched.AdmitDegrade}[int(admit)%3],
+			},
+		}
+
+		prev := sim.SetDefaultScheduler(sim.Lockstep)
+		lock, lockErr := fleet.Run(cfg, jobs)
+		sim.SetDefaultScheduler(sim.EventDriven)
+		evnt, evntErr := fleet.Run(cfg, jobs)
+		sim.SetDefaultScheduler(prev)
+		if lockErr != nil || evntErr != nil {
+			t.Fatalf("valid fleet config rejected: lockstep %v, event %v", lockErr, evntErr)
+		}
+
+		// Conservation over the merged report.
+		if len(lock.Jobs) != len(jobs) {
+			t.Fatalf("fleet report carries %d of %d jobs", len(lock.Jobs), len(jobs))
+		}
+		seen := map[int]int{}
+		for i := range lock.Jobs {
+			seen[lock.Jobs[i].ID]++
+		}
+		for _, j := range jobs {
+			if seen[j.ID] != 1 {
+				t.Fatalf("job %d appears %d times in the merged report", j.ID, seen[j.ID])
+			}
+		}
+		if lock.Admitted+lock.Degraded+lock.Rejected != len(jobs) {
+			t.Fatalf("dispositions sum to %d, want %d",
+				lock.Admitted+lock.Degraded+lock.Rejected, len(jobs))
+		}
+		if len(lock.Decisions) != len(jobs) {
+			t.Fatalf("%d decisions for %d jobs", len(lock.Decisions), len(jobs))
+		}
+		for _, d := range lock.Decisions {
+			if d.Board < 0 || d.Board >= int(boards) {
+				t.Fatalf("job %d routed to board %d of %d", d.Job, d.Board, boards)
+			}
+		}
+
+		// Both sim schedulers must agree on every board's final report.
+		lockH, evntH := boardHashes(t, lock), boardHashes(t, evnt)
+		for b := range lockH {
+			if lockH[b] != evntH[b] {
+				t.Fatalf("board %d: lockstep and event-driven schedulers disagree on the final report", b)
+			}
+		}
+	})
+}

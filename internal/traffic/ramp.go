@@ -27,6 +27,16 @@ func failed(j *rcsched.JobReport) bool {
 // which is the report's job order) has a failure fraction strictly above
 // threshold. Zero window and threshold select the defaults.
 func Overloaded(rep *rcsched.Report, window int, threshold float64) bool {
+	return OverloadedJobs(rep.Jobs, window, threshold)
+}
+
+// OverloadedJobs applies the sliding-window criterion to an explicit job
+// list, which must be in arrival order. Callers aggregating several serving
+// runs — the fleet dispatcher merging per-board reports — must merge their
+// job lists back into one arrival-ordered sequence before calling: sliding
+// a window over per-board concatenations would miss failure runs that span
+// boards and manufacture runs across the concatenation seams.
+func OverloadedJobs(jobs []rcsched.JobReport, window int, threshold float64) bool {
 	if window <= 0 {
 		window = DefaultWindow
 	}
@@ -34,11 +44,11 @@ func Overloaded(rep *rcsched.Report, window int, threshold float64) bool {
 		threshold = DefaultThreshold
 	}
 	fails := 0
-	for i := range rep.Jobs {
-		if failed(&rep.Jobs[i]) {
+	for i := range jobs {
+		if failed(&jobs[i]) {
 			fails++
 		}
-		if i >= window && failed(&rep.Jobs[i-window]) {
+		if i >= window && failed(&jobs[i-window]) {
 			fails--
 		}
 		if i >= window-1 && float64(fails)/float64(window) > threshold {
