@@ -1,7 +1,10 @@
 // Command docscheck enforces the repository documentation contract: every
 // package (internal, cmd, examples and the root) must carry a package
-// comment on at least one of its non-test files. CI runs it next to gofmt
-// and go vet; it exits non-zero listing the undocumented packages.
+// comment on at least one of its non-test files, and every test-corpus
+// count the README quotes (golden cells per table, replay scenarios) must
+// match what actually sits under testdata/. CI runs it next to gofmt and
+// go vet; it exits non-zero listing the undocumented packages and the
+// stale counts.
 //
 // Usage:
 //
@@ -10,13 +13,16 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -80,5 +86,108 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d packages documented\n", len(dirs))
+
+	drift, err := checkReadmeCounts(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(drift) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: README counts drifted from testdata/:")
+		for _, d := range drift {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented, %d README counts verified\n",
+		len(dirs), len(readmeCounts))
+}
+
+// readmeCounts binds each corpus count the README quotes to the testdata
+// artifact it describes. The phrase is an anchored regexp whose first
+// capture group is the quoted number; it must appear exactly once, so a
+// reworded README surfaces as drift rather than silently skipping the
+// check.
+var readmeCounts = []struct {
+	phrase string                         // regexp with the count as group 1
+	what   string                         // artifact name for the drift report
+	count  func(root string) (int, error) // ground truth from testdata/
+}{
+	{`(\d+) policy × board × workload cells`, "testdata/golden_cells.json",
+		func(root string) (int, error) {
+			return jsonMapLen(filepath.Join(root, "testdata/golden_cells.json"), "")
+		}},
+	{`(\d+) SERVE scheduling cells`, "testdata/serve_cells.json",
+		func(root string) (int, error) {
+			return jsonMapLen(filepath.Join(root, "testdata/serve_cells.json"), "")
+		}},
+	{`(\d+) DEADLINE cells`, "testdata/deadline_cells.json",
+		func(root string) (int, error) {
+			return jsonMapLen(filepath.Join(root, "testdata/deadline_cells.json"), "")
+		}},
+	{`(\d+) SATURATE cells`, "testdata/saturate_cells.json",
+		func(root string) (int, error) {
+			return jsonMapLen(filepath.Join(root, "testdata/saturate_cells.json"), "cells")
+		}},
+	{`(\d+) FLEET cells`, "testdata/fleet_cells.json",
+		func(root string) (int, error) {
+			return jsonMapLen(filepath.Join(root, "testdata/fleet_cells.json"), "cells")
+		}},
+	{`(\d+) replay scenarios`, "testdata/scenarios/*.json",
+		func(root string) (int, error) {
+			files, err := filepath.Glob(filepath.Join(root, "testdata/scenarios/*.json"))
+			return len(files), err
+		}},
+}
+
+// checkReadmeCounts verifies every quoted corpus count against the files,
+// returning one drift line per mismatch.
+func checkReadmeCounts(root string) ([]string, error) {
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return nil, err
+	}
+	var drift []string
+	for _, c := range readmeCounts {
+		m := regexp.MustCompile(c.phrase).FindAllStringSubmatch(string(readme), -1)
+		if len(m) != 1 {
+			drift = append(drift, fmt.Sprintf("README quotes %q %d times, want exactly once (checks %s)",
+				c.phrase, len(m), c.what))
+			continue
+		}
+		quoted, err := strconv.Atoi(m[0][1])
+		if err != nil {
+			return nil, err
+		}
+		actual, err := c.count(root)
+		if err != nil {
+			return nil, err
+		}
+		if quoted != actual {
+			drift = append(drift, fmt.Sprintf("README says %d where %s has %d", quoted, c.what, actual))
+		}
+	}
+	return drift, nil
+}
+
+// jsonMapLen counts the entries of a JSON object file — the whole
+// top-level object, or the object under the named member (the saturate and
+// fleet tables nest their cells next to the pinned knee rates).
+func jsonMapLen(path, member string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	top := map[string]json.RawMessage{}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	if member == "" {
+		return len(top), nil
+	}
+	inner := map[string]json.RawMessage{}
+	if err := json.Unmarshal(top[member], &inner); err != nil {
+		return 0, fmt.Errorf("%s: member %q: %v", path, member, err)
+	}
+	return len(inner), nil
 }

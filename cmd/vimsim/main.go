@@ -23,6 +23,10 @@
 //	vimsim -mode fleet -boards 4 -rps 6400         # dispatch across 4 boards
 //	vimsim -mode fleet -dispatch affinity -admit reject
 //	vimsim -mode fleet -boards 8 -dispatch po2 -ramp
+//	vimsim -mode record -as serve -scenario run.json -policy affinity
+//	vimsim -mode record -as fleet -scenario f.json -boards 4 -rps 6400
+//	vimsim -mode replay -scenario run.json         # re-execute and match
+//	vimsim -mode replay -scenario testdata/scenarios -format junit
 package main
 
 import (
@@ -32,6 +36,9 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro"
 	"repro/internal/baseline"
@@ -42,6 +49,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rcsched"
 	"repro/internal/ref"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/traffic"
 )
@@ -51,7 +59,7 @@ func main() {
 	size := flag.Int("size", 16384, "input size in bytes (vecadd: per-vector bytes)")
 	board := flag.String("board", "EPXA1", "board: EPXA1 | EPXA4 | EPXA10")
 	policy := flag.String("policy", "fifo", "replacement policy: fifo | lru | clock | random; serve mode: scheduling policy: fcfs | sjf | affinity | edf | slack")
-	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi | serve | saturate | fleet")
+	mode := flag.String("mode", "vim", "execution mode: vim | normal | chunked | sw | multi | serve | saturate | fleet | record | replay")
 	arb := flag.String("arb", "static", "multi mode: inter-session arbitration: static | global-lru")
 	split := flag.Int("split", 0, "multi mode: page frames for the IDEA session (0 = half the pool)")
 	slots := flag.Int("slots", 2, "serve mode: reconfigurable shell slots")
@@ -66,6 +74,12 @@ func main() {
 	ramp := flag.Bool("ramp", false, "saturate/fleet mode: sweep offered RPS up a linear ramp to the saturation knee instead of serving one rate")
 	boards := flag.Int("boards", 4, "fleet mode: independent boards behind the dispatcher")
 	dispatch := flag.String("dispatch", "least-loaded", "fleet mode: dispatch policy: random | least-loaded | affinity | po2")
+	scenarioPath := flag.String("scenario", "", "record mode: scenario file to write; replay mode: scenario file or directory to replay")
+	as := flag.String("as", "serve", "record mode: which serving run to record: serve | saturate | fleet")
+	match := flag.String("match", "", "record mode: match mode stored in the scenario; replay mode: override the file's mode: strict | metrics")
+	tolerance := flag.Float64("tolerance", 0, "record mode: metrics-match relative tolerance stored in the scenario (0 = default)")
+	format := flag.String("format", "text", "replay mode: result format on stdout: text | json | junit")
+	junitPath := flag.String("junit", "", "replay mode: also write a JUnit XML report to this path")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined IMU")
 	bounce := flag.Bool("bounce", false, "use the double-transfer (bounce buffer) page path")
 	prefetch := flag.Int("prefetch", 0, "sequential prefetch pages per fault")
@@ -195,17 +209,132 @@ func main() {
 		}
 		return
 	}
+	if *mode == "record" {
+		pol := *policy
+		if pol == "fifo" { // the single-run flag default; serving defaults to FCFS
+			pol = "fcfs"
+		}
+		// Recording composes with every flag of the run it records, and
+		// rejects the rest exactly as that mode would — plus -ramp, which
+		// sweeps many runs where a scenario pins exactly one.
+		type badFlag struct {
+			set  bool
+			name string
+		}
+		rejects := []badFlag{
+			{*pipelined, "-pipelined"},
+			{*bounce, "-bounce"},
+			{*prefetch != 0, "-prefetch"},
+			{*app != "idea", "-app"},
+			{*size != 16384, "-size"},
+			{*arb != "static", "-arb"},
+			{*split != 0, "-split"},
+			{*vcdPath != "", "-vcd"},
+			{*junitPath != "", "-junit"},
+			{*format != "text", "-format"},
+		}
+		switch *as {
+		case "serve":
+			rejects = append(rejects,
+				badFlag{*rps != 800, "-rps"},
+				badFlag{*arrival != "poisson", "-arrival"},
+				badFlag{*admit != "off", "-admit"},
+				badFlag{*boards != 4, "-boards"},
+				badFlag{*dispatch != "least-loaded", "-dispatch"})
+		case "saturate":
+			rejects = append(rejects,
+				badFlag{*gap != 0.15, "-gap"},
+				badFlag{*boards != 4, "-boards"},
+				badFlag{*dispatch != "least-loaded", "-dispatch"})
+		case "fleet":
+			rejects = append(rejects, badFlag{*gap != 0.15, "-gap"})
+		}
+		for _, f := range rejects {
+			if f.set {
+				log.Fatalf("mode record -as %s does not support %s (records exactly what mode %s would run)", *as, f.name, *as)
+			}
+		}
+		if err := validateRecord(*as, *scenarioPath, *match, *tolerance, *ramp); err != nil {
+			log.Fatal(err)
+		}
+		if *as != "serve" {
+			if err := validateSaturate(*rps, *arrival, *admit, *budget, *jobs); err != nil {
+				log.Fatal(err)
+			}
+			if *as == "fleet" && *boards <= 0 {
+				log.Fatalf("fleet: -boards must be positive, got %d", *boards)
+			}
+		}
+		if err := runRecord(*scenarioPath, *as, *board, pol, *dispatch, *boards, *slots, *jobs,
+			*bw, *gap, *budget, *seed, *stage, *rps, *arrival, *admit,
+			scenario.Match{Mode: *match, Tolerance: *tolerance}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *mode == "replay" {
+		// Replay takes everything from the scenario file; any run-shaping
+		// flag would be silently ignored, so reject them all.
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*pipelined, "-pipelined"},
+			{*bounce, "-bounce"},
+			{*prefetch != 0, "-prefetch"},
+			{*app != "idea", "-app"},
+			{*size != 16384, "-size"},
+			{*arb != "static", "-arb"},
+			{*split != 0, "-split"},
+			{*vcdPath != "", "-vcd"},
+			{*policy != "fifo", "-policy"},
+			{*board != "EPXA1", "-board"},
+			{*slots != 2, "-slots"},
+			{*jobs != 24, "-jobs"},
+			{*bw != 0, "-bw"},
+			{*gap != 0.15, "-gap"},
+			{*stage, "-stage"},
+			{*budget != rcsched.DefaultBudgetFactor, "-budget"},
+			{*seed != 1, "-seed"},
+			{*rps != 800, "-rps"},
+			{*arrival != "poisson", "-arrival"},
+			{*admit != "off", "-admit"},
+			{*ramp, "-ramp"},
+			{*boards != 4, "-boards"},
+			{*dispatch != "least-loaded", "-dispatch"},
+			{*tolerance != 0, "-tolerance"},
+		} {
+			if f.set {
+				log.Fatalf("mode replay does not support %s (the scenario file pins the whole run; use -match to override matching)", f.name)
+			}
+		}
+		if err := validateReplay(*scenarioPath, *match, *format); err != nil {
+			log.Fatal(err)
+		}
+		ok, err := runReplay(*scenarioPath, *match, *format, *junitPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if *stage {
-		log.Fatalf("-stage only applies to -mode serve, saturate or fleet")
+		log.Fatalf("-stage only applies to -mode serve, saturate, fleet or record")
 	}
 	if *budget != rcsched.DefaultBudgetFactor {
-		log.Fatalf("-budget only applies to -mode serve, saturate or fleet")
+		log.Fatalf("-budget only applies to -mode serve, saturate, fleet or record")
 	}
 	if *ramp || *rps != 800 || *arrival != "poisson" || *admit != "off" {
-		log.Fatalf("-rps, -arrival, -admit and -ramp only apply to -mode saturate or fleet")
+		log.Fatalf("-rps, -arrival, -admit and -ramp only apply to -mode saturate, fleet or record")
 	}
 	if *boards != 4 || *dispatch != "least-loaded" {
-		log.Fatalf("-boards and -dispatch only apply to -mode fleet")
+		log.Fatalf("-boards and -dispatch only apply to -mode fleet or record")
+	}
+	if *scenarioPath != "" || *as != "serve" || *match != "" || *tolerance != 0 ||
+		*format != "text" || *junitPath != "" {
+		log.Fatalf("-scenario, -as, -match, -tolerance, -format and -junit only apply to -mode record or replay")
 	}
 
 	if *mode == "multi" {
@@ -729,6 +858,242 @@ func runFleet(board, policy, dispatch string, boards, slots, jobs int, bw, budge
 		}
 	}
 	return nil
+}
+
+// validateRecord checks the record-mode flag combination before any
+// simulation work starts; every rejection is a one-line error carrying a
+// usage hint (main turns it into a non-zero exit).
+func validateRecord(as, scenarioPath, match string, tolerance float64, ramp bool) error {
+	if scenarioPath == "" {
+		return fmt.Errorf("record: -scenario must name the output file (try -scenario run.json)")
+	}
+	switch as {
+	case "serve", "saturate", "fleet":
+	default:
+		return fmt.Errorf("record: unknown -as %q (want serve, saturate or fleet)", as)
+	}
+	switch match {
+	case "", scenario.Strict, scenario.Metrics:
+	default:
+		return fmt.Errorf("record: unknown -match %q (want strict or metrics)", match)
+	}
+	if tolerance < 0 {
+		return fmt.Errorf("record: -tolerance must be non-negative, got %g", tolerance)
+	}
+	if tolerance != 0 && match != scenario.Metrics {
+		return fmt.Errorf("record: -tolerance only applies with -match metrics")
+	}
+	if ramp {
+		return fmt.Errorf("record: -ramp sweeps many runs where a scenario pins exactly one (record the knee rate instead: -rps <knee>)")
+	}
+	return nil
+}
+
+// validateReplay checks the replay-mode flag combination.
+func validateReplay(scenarioPath, match, format string) error {
+	if scenarioPath == "" {
+		return fmt.Errorf("replay: -scenario must name a scenario file or directory (try -scenario testdata/scenarios)")
+	}
+	switch match {
+	case "", scenario.Strict, scenario.Metrics:
+	default:
+		return fmt.Errorf("replay: unknown -match %q (want strict or metrics)", match)
+	}
+	switch format {
+	case "text", "json", "junit":
+	default:
+		return fmt.Errorf("replay: unknown -format %q (want text, json or junit)", format)
+	}
+	return nil
+}
+
+// recordStream rebuilds exactly the job stream the recorded mode would
+// serve: the closed-form trace for serve, the open-loop arrival process
+// for saturate and fleet (with the same budget-factor handling).
+func recordStream(as string, jobs int, gapMs, budget float64, seed int64,
+	rps float64, arrival string) ([]rcsched.Job, error) {
+	if as == "serve" {
+		if budget <= 0 {
+			return nil, fmt.Errorf("service-level budget factor must be positive, got %g", budget)
+		}
+		stream, err := rcsched.Trace(jobs, seed, gapMs*1e9)
+		if err != nil {
+			return nil, err
+		}
+		rcsched.SetBudgets(stream, budget)
+		return stream, nil
+	}
+	stream, err := traffic.Stream(jobs, seed, traffic.Spec{Process: arrival, RPS: rps})
+	if err != nil {
+		return nil, err
+	}
+	if budget == 0 {
+		for i := range stream {
+			stream[i].DeadlinePs = 0
+		}
+	} else if budget != rcsched.DefaultBudgetFactor {
+		rcsched.SetBudgets(stream, budget)
+	}
+	return stream, nil
+}
+
+// runRecord executes the selected serving run with recording attached and
+// writes the scenario file. The scenario's name is the file's base name;
+// its description is the reconstructed command line, so a corpus stays
+// greppable for how each pinned run was produced.
+func runRecord(path, as, board, policy, dispatch string, boards, slots, jobs int,
+	bw, gapMs, budget float64, seed int64, stage bool,
+	rps float64, arrival, admit string, match scenario.Match) error {
+	stream, err := recordStream(as, jobs, gapMs, budget, seed, rps, arrival)
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	desc := fmt.Sprintf("vimsim -mode record -as %s -scenario %s -board %s -policy %s -slots %d -jobs %d -seed %d",
+		as, filepath.Base(path), board, policy, slots, jobs, seed)
+	if bw != 0 {
+		desc += fmt.Sprintf(" -bw %g", bw)
+	}
+	if stage {
+		desc += " -stage"
+	}
+	if budget != rcsched.DefaultBudgetFactor {
+		desc += fmt.Sprintf(" -budget %g", budget)
+	}
+	boardCfg := rcsched.Config{
+		Board:    board,
+		Slots:    slots,
+		Policy:   policy,
+		ConfigBW: bw,
+		Stage:    stage,
+	}
+	var sc *scenario.Scenario
+	switch as {
+	case "serve":
+		desc += fmt.Sprintf(" -gap %g", gapMs)
+		sc, err = scenario.RecordServe(name, desc, boardCfg, stream, match)
+	case "saturate":
+		desc += fmt.Sprintf(" -arrival %s -rps %g -admit %s", arrival, rps, admit)
+		boardCfg.Admit = admit
+		sc, err = scenario.RecordServe(name, desc, boardCfg, stream, match)
+	case "fleet":
+		desc += fmt.Sprintf(" -arrival %s -rps %g -admit %s -boards %d -dispatch %s",
+			arrival, rps, admit, boards, dispatch)
+		boardCfg.Admit = admit
+		sc, err = scenario.RecordFleet(name, desc, fleet.Config{
+			Boards:   boards,
+			Dispatch: dispatch,
+			Seed:     seed,
+			Board:    boardCfg,
+		}, stream, match)
+	default:
+		return fmt.Errorf("record: unknown -as %q", as)
+	}
+	if err != nil {
+		return err
+	}
+	data, err := scenario.Serialize(sc)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	steps := len(sc.Expect.Events) + len(sc.Expect.Decisions)
+	for _, ev := range sc.Expect.BoardEvents {
+		steps += len(ev)
+	}
+	matching := sc.Match.Mode
+	if matching == "" {
+		matching = scenario.Strict
+	}
+	fmt.Printf("mode        record (-as %s)\n", as)
+	fmt.Printf("scenario    %s (%s, %s matching)\n", path, sc.Kind, matching)
+	fmt.Printf("jobs        %d pinned (%d decision steps)\n", len(sc.Jobs), steps)
+	fmt.Printf("makespan    %.3f ms\n", sc.Expect.Aggregate.MakespanPs/1e9)
+	fmt.Printf("replay      vimsim -mode replay -scenario %s\n", path)
+	return nil
+}
+
+// runReplay replays one scenario file — or every *.json under a directory,
+// the corpus case — and renders the results in the selected format. The
+// boolean result is the overall verdict: false (a non-zero exit) when any
+// scenario failed to parse or reproduce.
+func runReplay(path, match, format, junitOut string) (bool, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return false, err
+	}
+	files := []string{path}
+	if info.IsDir() {
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return false, err
+		}
+		files = files[:0]
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+				files = append(files, filepath.Join(path, e.Name()))
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return false, fmt.Errorf("replay: no *.json scenarios under %s", path)
+		}
+	}
+	results := make([]*scenario.Result, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return false, err
+		}
+		sc, err := scenario.Parse(data)
+		if err != nil {
+			// A broken file is a failing case, not a dead sweep: the rest
+			// of the corpus still replays and the report names the culprit.
+			results = append(results, &scenario.Result{
+				Name: strings.TrimSuffix(filepath.Base(f), ".json"),
+				Err:  err.Error(),
+			})
+			continue
+		}
+		res, err := scenario.Replay(sc, match)
+		if err != nil {
+			return false, err
+		}
+		results = append(results, res)
+	}
+	switch format {
+	case "json":
+		data, err := scenario.FormatJSON(results)
+		if err != nil {
+			return false, err
+		}
+		os.Stdout.Write(data)
+	case "junit":
+		data, err := scenario.FormatJUnit("vimsim-scenarios", results)
+		if err != nil {
+			return false, err
+		}
+		os.Stdout.Write(data)
+	default:
+		fmt.Print(scenario.FormatText(results))
+	}
+	if junitOut != "" {
+		data, err := scenario.FormatJUnit("vimsim-scenarios", results)
+		if err != nil {
+			return false, err
+		}
+		if err := os.WriteFile(junitOut, data, 0o644); err != nil {
+			return false, err
+		}
+	}
+	for _, r := range results {
+		if !r.Pass() {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 func runBaseline(cfg repro.Config, app, mode string, size int, seed int64) (*core.Report, error) {

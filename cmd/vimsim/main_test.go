@@ -42,21 +42,94 @@ func TestValidateSaturateFlags(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			err := validateSaturate(c.f.rps, c.f.arrival, c.f.admit, c.f.budget, c.f.jobs)
-			if c.hint == "" {
-				if err != nil {
-					t.Fatalf("legal flags rejected: %v", err)
-				}
-				return
-			}
-			if err == nil {
-				t.Fatal("degenerate flags accepted")
-			}
-			if !strings.Contains(err.Error(), c.hint) {
-				t.Fatalf("error %q does not carry the usage hint %q", err, c.hint)
-			}
-			if strings.Contains(err.Error(), "\n") {
-				t.Fatalf("error %q spans multiple lines; the hint must be one line", err)
-			}
+			checkHint(t, err, c.hint)
+		})
+	}
+}
+
+// checkHint asserts the shared contract of all flag validators: legal flag
+// sets pass, degenerate ones come back as a single-line error carrying the
+// usage hint (main turns it into a non-zero exit).
+func checkHint(t *testing.T, err error, hint string) {
+	t.Helper()
+	if hint == "" {
+		if err != nil {
+			t.Fatalf("legal flags rejected: %v", err)
+		}
+		return
+	}
+	if err == nil {
+		t.Fatal("degenerate flags accepted")
+	}
+	if !strings.Contains(err.Error(), hint) {
+		t.Fatalf("error %q does not carry the usage hint %q", err, hint)
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Fatalf("error %q spans multiple lines; the hint must be one line", err)
+	}
+}
+
+// TestValidateRecordFlags sweeps the record-mode flag validation.
+func TestValidateRecordFlags(t *testing.T) {
+	type flags struct {
+		as        string
+		scenario  string
+		match     string
+		tolerance float64
+		ramp      bool
+	}
+	cases := []struct {
+		name string
+		f    flags
+		hint string
+	}{
+		{"serve defaults", flags{"serve", "run.json", "", 0, false}, ""},
+		{"saturate", flags{"saturate", "run.json", "", 0, false}, ""},
+		{"fleet", flags{"fleet", "run.json", "", 0, false}, ""},
+		{"strict explicit", flags{"serve", "run.json", "strict", 0, false}, ""},
+		{"metrics with tolerance", flags{"serve", "run.json", "metrics", 0.05, false}, ""},
+		{"metrics default tolerance", flags{"serve", "run.json", "metrics", 0, false}, ""},
+		{"no output file", flags{"serve", "", "", 0, false}, "-scenario must name the output file"},
+		{"unknown as", flags{"bench", "run.json", "", 0, false}, "unknown -as"},
+		{"unknown match", flags{"serve", "run.json", "fuzzy", 0, false}, "unknown -match"},
+		{"negative tolerance", flags{"serve", "run.json", "metrics", -0.1, false}, "-tolerance must be non-negative"},
+		{"tolerance without metrics", flags{"serve", "run.json", "", 0.05, false}, "-tolerance only applies with -match metrics"},
+		{"tolerance with strict", flags{"serve", "run.json", "strict", 0.05, false}, "-tolerance only applies with -match metrics"},
+		{"ramp", flags{"saturate", "run.json", "", 0, true}, "a scenario pins exactly one"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateRecord(c.f.as, c.f.scenario, c.f.match, c.f.tolerance, c.f.ramp)
+			checkHint(t, err, c.hint)
+		})
+	}
+}
+
+// TestValidateReplayFlags sweeps the replay-mode flag validation.
+func TestValidateReplayFlags(t *testing.T) {
+	type flags struct {
+		scenario string
+		match    string
+		format   string
+	}
+	cases := []struct {
+		name string
+		f    flags
+		hint string
+	}{
+		{"file", flags{"run.json", "", "text"}, ""},
+		{"directory sweep", flags{"testdata/scenarios", "", "text"}, ""},
+		{"strict override", flags{"run.json", "strict", "text"}, ""},
+		{"metrics override", flags{"run.json", "metrics", "json"}, ""},
+		{"junit", flags{"run.json", "", "junit"}, ""},
+		{"no scenario", flags{"", "", "text"}, "-scenario must name a scenario file or directory"},
+		{"unknown match", flags{"run.json", "approx", "text"}, "unknown -match"},
+		{"unknown format", flags{"run.json", "", "tap"}, "unknown -format"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateReplay(c.f.scenario, c.f.match, c.f.format)
+			checkHint(t, err, c.hint)
 		})
 	}
 }

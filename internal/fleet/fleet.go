@@ -80,6 +80,18 @@ type Config struct {
 	// Board is the per-board serving configuration handed verbatim to each
 	// board's rcsched.Serve run.
 	Board rcsched.Config
+	// Observe, when non-nil, supplies a per-board rcsched.Observer that Run
+	// installs on that board's serving config (overriding Board.Observer).
+	// Boards serve concurrently, so each board gets its own Observer and
+	// Serve calls it only from that board's goroutine. Observation is
+	// passive: a nil-Observe run is bit-identical to an observed one.
+	Observe Observer
+}
+
+// Observer hands out one rcsched.Observer per board for a fleet run; see
+// Config.Observe. BoardObserver may return nil to leave a board unobserved.
+type Observer interface {
+	BoardObserver(board int) rcsched.Observer
 }
 
 // Decision records one routing decision for the property tests: which board
@@ -423,16 +435,20 @@ func Run(cfg Config, jobs []rcsched.Job) (*Report, error) {
 			}
 			continue
 		}
+		boardCfg := cfg.Board
+		if cfg.Observe != nil {
+			boardCfg.Observer = cfg.Observe.BoardObserver(b)
+		}
 		wg.Add(1)
-		go func(b int) {
+		go func(b int, boardCfg rcsched.Config) {
 			defer wg.Done()
-			r, err := rcsched.Serve(cfg.Board, subs[b])
+			r, err := rcsched.Serve(boardCfg, subs[b])
 			if err != nil {
 				errs[b] = fmt.Errorf("fleet: board %d: %w", b, err)
 				return
 			}
 			rep.Boards[b] = r
-		}(b)
+		}(b, boardCfg)
 	}
 	wg.Wait()
 	for _, err := range errs {

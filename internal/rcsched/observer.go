@@ -1,0 +1,33 @@
+package rcsched
+
+// Dispatch paths reported to an Observer: how the slot acquired the job's
+// coprocessor at the moment the policy paired them.
+const (
+	// DispatchResident: the coprocessor was already resident — zero-config.
+	DispatchResident = "resident"
+	// DispatchStaged: a pre-staged bitstream covers the job, so the swap
+	// costs the staged commit instead of a full configuration stream.
+	DispatchStaged = "staged"
+	// DispatchStream: the slot pays a full configuration stream.
+	DispatchStream = "stream"
+)
+
+// Observer receives the serving loop's decision points as they happen:
+// admission sheds, policy dispatches and job completions. It exists for
+// recording (the scenario package's record/replay harness) and MUST be
+// passive — Serve hands it values after every state change is already
+// committed, and a nil Observer run is bit-identical to an observed one.
+// Serve calls the methods from its own goroutine only; a fleet run attaches
+// an independent Observer per board (see fleet.Config.Observe).
+type Observer interface {
+	// JobShed fires when admission control rejects or degrades a job; jr
+	// is the job's final report (neither disposition touches a slot).
+	JobShed(jr JobReport)
+	// JobDispatched fires when the policy pairs a queued job with slot,
+	// before any configuration time is paid. path is DispatchResident,
+	// DispatchStaged or DispatchStream; atPs is the decision instant.
+	JobDispatched(jobID, slot int, atPs float64, path string)
+	// JobFinished fires when a slot-served job's output has verified
+	// against the golden algorithm; jr is the job's final report.
+	JobFinished(jr JobReport)
+}

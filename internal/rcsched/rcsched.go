@@ -86,6 +86,10 @@ type Config struct {
 	// Budget bounds the whole run in simulation super-edges (0 = the
 	// core.DefaultBudget).
 	Budget int64
+	// Observer, when non-nil, receives shed/dispatch/finish events as the
+	// serving loop makes them. Observation is passive: a nil-Observer run
+	// is bit-identical to an observed one.
+	Observer Observer
 }
 
 // JobReport is the measured outcome of one served job.
@@ -433,6 +437,9 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 		}
 		rep.Jobs[ji] = jr
 		completed++
+		if cfg.Observer != nil {
+			cfg.Observer.JobShed(jr)
+		}
 	}
 
 	// launch attaches job j's session onto slot s and starts it.
@@ -519,6 +526,9 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 				if err := finishJob(rep, board.Kern, &order[j], preps[j], &slots[s], mb, j); err != nil {
 					return nil, err
 				}
+				if cfg.Observer != nil {
+					cfg.Observer.JobFinished(rep.Jobs[j])
+				}
 				if err := g.DetachMember(mb); err != nil {
 					return nil, err
 				}
@@ -579,6 +589,16 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 			slots[s].job = j
 			slots[s].dispatchPs = eng.NowPs()
 			slots[s].stagedHit = false
+			if cfg.Observer != nil {
+				path := DispatchStream
+				switch {
+				case g.Shell.Slots[s].Resident() == order[j].coreName:
+					path = DispatchResident
+				case cfg.Stage && g.Shell.Slots[s].Staged() == order[j].coreName:
+					path = DispatchStaged
+				}
+				cfg.Observer.JobDispatched(order[j].ID, s, slots[s].dispatchPs, path)
+			}
 			if g.Shell.Slots[s].Resident() == order[j].coreName {
 				// Zero-config dispatch; a staged bitstream on this slot (for
 				// some later job) stays parked in the buffer.

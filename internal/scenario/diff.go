@@ -1,0 +1,296 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Divergence is one point where the replay left the recorded run. The
+// comparison stops at the first one, so a result carries at most a single
+// divergence — the earliest, which is the one worth reading: everything
+// after it is downstream noise.
+type Divergence struct {
+	// Where locates the step: "event[12]", "decision[3]",
+	// "board[1].event[4]", "job 17" or "aggregate".
+	Where string `json:"where"`
+	// Field names the diverging field within the step ("" when the whole
+	// step is missing or extra).
+	Field string `json:"field,omitempty"`
+	Got   string `json:"got"`
+	Want  string `json:"want"`
+}
+
+func (d Divergence) String() string {
+	loc := d.Where
+	if d.Field != "" {
+		loc += "." + d.Field
+	}
+	return fmt.Sprintf("first divergence at %s:\n  got  %s\n  want %s", loc, d.Got, d.Want)
+}
+
+// compareStrict matches the replayed expectations bit for bit against the
+// recorded ones, in replay order: the decision streams first (a scheduling
+// divergence surfaces there earliest and most legibly), then the per-job
+// reports, then the aggregates. It returns the number of matched stream
+// steps and the first divergence (if any).
+func compareStrict(want, got *Expect) (int, []Divergence) {
+	steps := 0
+	if d := compareDecisions(want.Decisions, got.Decisions, &steps); d != nil {
+		return steps, d
+	}
+	if d := compareEvents("event", want.Events, got.Events, &steps); d != nil {
+		return steps, d
+	}
+	boards := len(want.BoardEvents)
+	if len(got.BoardEvents) > boards {
+		boards = len(got.BoardEvents)
+	}
+	for b := 0; b < boards; b++ {
+		var w, g []Event
+		if b < len(want.BoardEvents) {
+			w = want.BoardEvents[b]
+		}
+		if b < len(got.BoardEvents) {
+			g = got.BoardEvents[b]
+		}
+		if d := compareEvents(fmt.Sprintf("board[%d].event", b), w, g, &steps); d != nil {
+			return steps, d
+		}
+	}
+	if d := compareJobs(want.Jobs, got.Jobs); d != nil {
+		return steps, d
+	}
+	return steps, compareAggregate(&want.Aggregate, &got.Aggregate, 0)
+}
+
+func compareDecisions(want, got []DecisionRecord, steps *int) []Divergence {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			return []Divergence{{
+				Where: fmt.Sprintf("decision[%d]", i),
+				Field: decisionField(want[i], got[i]),
+				Got:   got[i].format(),
+				Want:  want[i].format(),
+			}}
+		}
+		*steps++
+	}
+	if len(want) != len(got) {
+		return []Divergence{streamLength(fmt.Sprintf("decision[%d]", n), len(want), len(got))}
+	}
+	return nil
+}
+
+func compareEvents(where string, want, got []Event, steps *int) []Divergence {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			return []Divergence{{
+				Where: fmt.Sprintf("%s[%d]", where, i),
+				Field: eventField(want[i], got[i]),
+				Got:   got[i].format(),
+				Want:  want[i].format(),
+			}}
+		}
+		*steps++
+	}
+	if len(want) != len(got) {
+		return []Divergence{streamLength(fmt.Sprintf("%s[%d]", where, n), len(want), len(got))}
+	}
+	return nil
+}
+
+// compareJobs matches the per-job reports by job ID, so a missing or extra
+// record reads as exactly that instead of shifting every later comparison.
+func compareJobs(want, got []JobRecord) []Divergence {
+	byID := make(map[int]*JobRecord, len(want))
+	for i := range want {
+		byID[want[i].ID] = &want[i]
+	}
+	for i := range got {
+		g := &got[i]
+		w, ok := byID[g.ID]
+		if !ok {
+			return []Divergence{{
+				Where: fmt.Sprintf("job %d", g.ID),
+				Got:   g.format(),
+				Want:  "(no pinned report: the job is missing from the scenario)",
+			}}
+		}
+		delete(byID, g.ID)
+		if *w != *g {
+			field, gv, wv := jobField(w, g)
+			return []Divergence{{
+				Where: fmt.Sprintf("job %d", g.ID),
+				Field: field,
+				Got:   gv,
+				Want:  wv,
+			}}
+		}
+	}
+	// Deterministic pick of the lowest leftover ID, if any.
+	missing := -1
+	for id := range byID {
+		if missing < 0 || id < missing {
+			missing = id
+		}
+	}
+	if missing >= 0 {
+		return []Divergence{{
+			Where: fmt.Sprintf("job %d", missing),
+			Got:   "(never replayed)",
+			Want:  byID[missing].format(),
+		}}
+	}
+	return nil
+}
+
+// compareAggregate checks every aggregate value; tol 0 means exact
+// (strict), otherwise each value must sit within tol relative error.
+func compareAggregate(want, got *Aggregate, tol float64) []Divergence {
+	for _, f := range aggregateFields {
+		w, g := f.get(want), f.get(got)
+		if tol == 0 {
+			if w == g {
+				continue
+			}
+		} else if math.Abs(g-w) <= tol*math.Max(math.Abs(w), 1e-9) {
+			continue
+		}
+		return []Divergence{{
+			Where: "aggregate",
+			Field: f.name,
+			Got:   ftoa(g),
+			Want:  ftoa(w),
+		}}
+	}
+	return nil
+}
+
+func streamLength(where string, want, got int) Divergence {
+	return Divergence{
+		Where: where,
+		Got:   fmt.Sprintf("stream has %d steps", got),
+		Want:  fmt.Sprintf("stream has %d steps", want),
+	}
+}
+
+func (e Event) format() string {
+	s := fmt.Sprintf("%s job %d", e.Kind, e.Job)
+	if e.Slot >= 0 {
+		s += fmt.Sprintf(" slot %d", e.Slot)
+	}
+	s += " at " + ftoa(e.AtPs) + " ps"
+	if e.Path != "" {
+		s += " (" + e.Path + ")"
+	}
+	return s
+}
+
+func (d DecisionRecord) format() string {
+	return fmt.Sprintf("job %d -> board %d at %s ps", d.Job, d.Board, ftoa(d.EpochPs))
+}
+
+func (j *JobRecord) format() string {
+	return fmt.Sprintf("%s %s %d B slot %d done at %s ps", j.Disposition, j.App, j.Size, j.Slot, ftoa(j.DonePs))
+}
+
+func eventField(w, g Event) string {
+	switch {
+	case w.Kind != g.Kind:
+		return "kind"
+	case w.Job != g.Job:
+		return "job"
+	case w.Slot != g.Slot:
+		return "slot"
+	case w.AtPs != g.AtPs:
+		return "at_ps"
+	default:
+		return "path"
+	}
+}
+
+func decisionField(w, g DecisionRecord) string {
+	switch {
+	case w.Job != g.Job:
+		return "job"
+	case w.Board != g.Board:
+		return "board"
+	default:
+		return "epoch_ps"
+	}
+}
+
+// jobField names the first diverging field of a job record and renders
+// both sides.
+func jobField(w, g *JobRecord) (name, got, want string) {
+	for _, f := range jobRecordFields {
+		if wv, gv := f.get(w), f.get(g); wv != gv {
+			return f.name, gv, wv
+		}
+	}
+	return "?", g.format(), w.format()
+}
+
+var jobRecordFields = []struct {
+	name string
+	get  func(*JobRecord) string
+}{
+	{"app", func(j *JobRecord) string { return j.App }},
+	{"size", func(j *JobRecord) string { return strconv.Itoa(j.Size) }},
+	{"slot", func(j *JobRecord) string { return strconv.Itoa(j.Slot) }},
+	{"board", func(j *JobRecord) string { return strconv.Itoa(j.Board) }},
+	{"disposition", func(j *JobRecord) string { return j.Disposition }},
+	{"arrival_ps", func(j *JobRecord) string { return ftoa(j.ArrivalPs) }},
+	{"deadline_ps", func(j *JobRecord) string { return ftoa(j.DeadlinePs) }},
+	{"queue_wait_ps", func(j *JobRecord) string { return ftoa(j.QueueWaitPs) }},
+	{"reconfig_ps", func(j *JobRecord) string { return ftoa(j.ReconfigPs) }},
+	{"exec_ps", func(j *JobRecord) string { return ftoa(j.ExecPs) }},
+	{"latency_ps", func(j *JobRecord) string { return ftoa(j.LatencyPs) }},
+	{"lateness_ps", func(j *JobRecord) string { return ftoa(j.LatenessPs) }},
+	{"done_ps", func(j *JobRecord) string { return ftoa(j.DonePs) }},
+	{"reconfigured", func(j *JobRecord) string { return strconv.FormatBool(j.Reconfig) }},
+	{"staged", func(j *JobRecord) string { return strconv.FormatBool(j.Staged) }},
+	{"missed", func(j *JobRecord) string { return strconv.FormatBool(j.Missed) }},
+	{"faults", func(j *JobRecord) string { return strconv.FormatUint(j.Faults, 10) }},
+}
+
+var aggregateFields = []struct {
+	name string
+	get  func(*Aggregate) float64
+}{
+	{"makespan_ps", func(a *Aggregate) float64 { return a.MakespanPs }},
+	{"total_reconfig_ps", func(a *Aggregate) float64 { return a.TotalReconfigPs }},
+	{"reconfigs", func(a *Aggregate) float64 { return float64(a.Reconfigs) }},
+	{"stage_commits", func(a *Aggregate) float64 { return float64(a.StageCommits) }},
+	{"stage_cancels", func(a *Aggregate) float64 { return float64(a.StageCancels) }},
+	{"mean_wait_ps", func(a *Aggregate) float64 { return a.MeanWaitPs }},
+	{"mean_latency_ps", func(a *Aggregate) float64 { return a.MeanLatencyPs }},
+	{"p99_latency_ps", func(a *Aggregate) float64 { return a.P99LatencyPs }},
+	{"p99_admitted_ps", func(a *Aggregate) float64 { return a.P99AdmittedPs }},
+	{"misses", func(a *Aggregate) float64 { return float64(a.Misses) }},
+	{"miss_rate", func(a *Aggregate) float64 { return a.MissRate }},
+	{"admitted", func(a *Aggregate) float64 { return float64(a.Admitted) }},
+	{"degraded", func(a *Aggregate) float64 { return float64(a.Degraded) }},
+	{"rejected", func(a *Aggregate) float64 { return float64(a.Rejected) }},
+	{"completed", func(a *Aggregate) float64 { return float64(a.Completed) }},
+	{"good_jobs", func(a *Aggregate) float64 { return float64(a.GoodJobs) }},
+	{"offered_rps", func(a *Aggregate) float64 { return a.OfferedRPS }},
+	{"achieved_rps", func(a *Aggregate) float64 { return a.AchievedRPS }},
+	{"goodput_rps", func(a *Aggregate) float64 { return a.GoodputRPS }},
+	{"shed_rate", func(a *Aggregate) float64 { return a.ShedRate }},
+	{"util_mean", func(a *Aggregate) float64 { return a.UtilMean }},
+	{"util_min", func(a *Aggregate) float64 { return a.UtilMin }},
+	{"util_max", func(a *Aggregate) float64 { return a.UtilMax }},
+	{"faults", func(a *Aggregate) float64 { return float64(a.Faults) }},
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// Text renders one result the way a human wants to read it: one PASS/FAIL
+// line, and on failure the first-divergence diff underneath.
+func (r *Result) Text() string {
+	if r.Pass() {
+		return fmt.Sprintf("PASS %s (%s, %s, %d steps)", r.Name, r.Kind, r.Mode, r.Steps)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "FAIL %s (%s, %s)", r.Name, r.Kind, r.Mode)
+	if r.Err != "" {
+		fmt.Fprintf(&b, "\n  replay error: %s", r.Err)
+	}
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "\n  %s", strings.ReplaceAll(d.String(), "\n", "\n  "))
+		if r.Steps > 0 {
+			fmt.Fprintf(&b, "\n  (%d steps matched before this point)", r.Steps)
+		}
+	}
+	return b.String()
+}
+
+// FormatText renders a whole corpus run as PASS/FAIL lines plus a summary.
+func FormatText(results []*Result) string {
+	var b strings.Builder
+	pass := 0
+	for _, r := range results {
+		b.WriteString(r.Text())
+		b.WriteByte('\n')
+		if r.Pass() {
+			pass++
+		}
+	}
+	fmt.Fprintf(&b, "%d/%d scenarios reproduced\n", pass, len(results))
+	return b.String()
+}
+
+// FormatJSON renders a corpus run as a single machine-readable document.
+func FormatJSON(results []*Result) ([]byte, error) {
+	pass := true
+	for _, r := range results {
+		if !r.Pass() {
+			pass = false
+			break
+		}
+	}
+	out := struct {
+		Pass      bool      `json:"pass"`
+		Scenarios []*Result `json:"scenarios"`
+	}{pass, results}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// JUnit XML shapes, matching what CI dashboards ingest.
+type junitSuite struct {
+	XMLName  xml.Name    `xml:"testsuite"`
+	Name     string      `xml:"name,attr"`
+	Tests    int         `xml:"tests,attr"`
+	Failures int         `xml:"failures,attr"`
+	Errors   int         `xml:"errors,attr"`
+	Cases    []junitCase `xml:"testcase"`
+}
+
+type junitCase struct {
+	Name      string    `xml:"name,attr"`
+	Classname string    `xml:"classname,attr"`
+	Failure   *junitMsg `xml:"failure,omitempty"`
+	Error     *junitMsg `xml:"error,omitempty"`
+}
+
+type junitMsg struct {
+	Message string `xml:"message,attr"`
+	Body    string `xml:",chardata"`
+}
+
+// FormatJUnit renders a corpus run as one JUnit test suite: a testcase per
+// scenario, comparison mismatches as failures and replay execution errors
+// as errors, each carrying the first-divergence diff as its body.
+func FormatJUnit(suiteName string, results []*Result) ([]byte, error) {
+	suite := junitSuite{Name: suiteName, Tests: len(results)}
+	for _, r := range results {
+		c := junitCase{Name: r.Name, Classname: "scenario." + r.Kind}
+		switch {
+		case r.Err != "":
+			suite.Errors++
+			c.Error = &junitMsg{Message: "replay error", Body: r.Err}
+		case len(r.Divergences) > 0:
+			suite.Failures++
+			d := r.Divergences[0]
+			msg := "diverged at " + d.Where
+			if d.Field != "" {
+				msg += "." + d.Field
+			}
+			c.Failure = &junitMsg{Message: msg, Body: r.Text()}
+		}
+		suite.Cases = append(suite.Cases, c)
+	}
+	data, err := xml.MarshalIndent(&suite, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), append(data, '\n')...), nil
+}

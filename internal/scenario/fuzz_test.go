@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rcsched"
+)
+
+// FuzzScenarioRoundTrip throws arbitrary bytes at the parser and requires
+// two properties: hostile input (malformed, truncated, version-skewed,
+// mistagged) errors and never panics, and any input the parser does accept
+// round-trips losslessly — parse→serialize→parse yields the identical
+// scenario, so nothing a file pins can be silently dropped or rewritten.
+func FuzzScenarioRoundTrip(f *testing.F) {
+	// Seed with a real recorded scenario and targeted corruptions of it.
+	jobs, err := rcsched.Trace(4, 4242, 0.15e9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sc, err := RecordServe("fuzz-seed", "", rcsched.Config{Slots: 2, Policy: "affinity"}, jobs, Match{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := Serialize(sc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`{"format":"vimsim-scenario","version":99}`))
+	f.Add([]byte(`{"format":"vimsim-scenario","version":1,"kind":"serve"}`))
+	f.Add([]byte(`{"format":"other","version":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("\x00\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, err := Parse(data) // must never panic
+		if err != nil {
+			return
+		}
+		out, err := Serialize(first)
+		if err != nil {
+			t.Fatalf("accepted scenario does not serialize: %v", err)
+		}
+		second, err := Parse(out)
+		if err != nil {
+			t.Fatalf("serialized form of an accepted scenario does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("round trip is lossy:\n first  %+v\n second %+v", first, second)
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/fleet"
+	"repro/internal/rcsched"
+)
+
+// recorder is the passive rcsched.Observer that turns one board's serving
+// run into an event stream. A fleet run uses one recorder per board, each
+// called only from its own board's goroutine.
+type recorder struct {
+	events []Event
+}
+
+func (r *recorder) JobShed(jr rcsched.JobReport) {
+	r.events = append(r.events, Event{
+		Kind: EventShed, Job: jr.ID, Slot: -1, AtPs: jr.DonePs, Path: string(jr.Disposition),
+	})
+}
+
+func (r *recorder) JobDispatched(jobID, slot int, atPs float64, path string) {
+	r.events = append(r.events, Event{Kind: EventDispatch, Job: jobID, Slot: slot, AtPs: atPs, Path: path})
+}
+
+func (r *recorder) JobFinished(jr rcsched.JobReport) {
+	r.events = append(r.events, Event{Kind: EventFinish, Job: jr.ID, Slot: jr.Slot, AtPs: jr.DonePs})
+}
+
+// fleetRecorder hands each board its own recorder.
+type fleetRecorder struct {
+	boards []recorder
+}
+
+func (f *fleetRecorder) BoardObserver(b int) rcsched.Observer { return &f.boards[b] }
+
+// RecordServe executes one rcsched.Serve run with recording attached and
+// returns it as a scenario. The configuration is stored fully resolved
+// (defaults filled in from the run's own report), so later default changes
+// cannot silently re-parameterise a pinned run.
+func RecordServe(name, desc string, cfg rcsched.Config, jobs []rcsched.Job, match Match) (*Scenario, error) {
+	rec := &recorder{}
+	cfg.Observer = rec
+	rep, err := rcsched.Serve(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scenario{
+		Format:      Format,
+		Version:     Version,
+		Name:        name,
+		Description: desc,
+		Kind:        KindServe,
+		Match:       match,
+		Serve:       serveConfigOf(cfg, rep),
+		Jobs:        jobSpecsOf(jobs),
+		Expect: Expect{
+			Events:    rec.events,
+			Jobs:      jobRecords(rep.Jobs, nil),
+			Aggregate: serveAggregate(rep),
+		},
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: recorded run does not validate: %w", err)
+	}
+	return sc, nil
+}
+
+// RecordFleet executes one fleet.Run with per-board recording attached and
+// returns it as a scenario.
+func RecordFleet(name, desc string, cfg fleet.Config, jobs []rcsched.Job, match Match) (*Scenario, error) {
+	if cfg.Boards <= 0 {
+		return nil, fmt.Errorf("scenario: fleet board count %d must be positive", cfg.Boards)
+	}
+	rec := &fleetRecorder{boards: make([]recorder, cfg.Boards)}
+	cfg.Observe = rec
+	rep, err := fleet.Run(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	boundPs := cfg.BoundPs
+	if boundPs == 0 {
+		boundPs = fleet.DefaultBoundPs
+	}
+	decisions := make([]DecisionRecord, len(rep.Decisions))
+	boardOf := make(map[int]int, len(rep.Decisions))
+	for i, d := range rep.Decisions {
+		decisions[i] = DecisionRecord{Job: d.Job, Board: d.Board, EpochPs: d.EpochPs}
+		boardOf[d.Job] = d.Board
+	}
+	boardEvents := make([][]Event, cfg.Boards)
+	var faults uint64
+	var served *rcsched.Report // any board that actually ran resolves the config
+	for b := range rec.boards {
+		boardEvents[b] = rec.boards[b].events
+		if boardEvents[b] == nil {
+			boardEvents[b] = []Event{} // an idle board pins an explicitly empty stream
+		}
+		faults += rep.Boards[b].VIM.Faults
+		if served == nil && rep.Boards[b].Board != "" {
+			served = rep.Boards[b]
+		}
+	}
+	if served == nil {
+		return nil, fmt.Errorf("scenario: fleet run served no board")
+	}
+	sc := &Scenario{
+		Format:      Format,
+		Version:     Version,
+		Name:        name,
+		Description: desc,
+		Kind:        KindFleet,
+		Match:       match,
+		Serve:       serveConfigOf(cfg.Board, served),
+		Fleet: &FleetConfig{
+			Boards:   cfg.Boards,
+			Dispatch: rep.Dispatch,
+			Seed:     cfg.Seed,
+			BoundPs:  boundPs,
+		},
+		Jobs: jobSpecsOf(jobs),
+		Expect: Expect{
+			Decisions:   decisions,
+			BoardEvents: boardEvents,
+			Jobs:        jobRecords(rep.Jobs, boardOf),
+			Aggregate:   fleetAggregate(rep, faults),
+		},
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: recorded run does not validate: %w", err)
+	}
+	return sc, nil
+}
+
+// serveConfigOf resolves cfg's defaults against the run's own report (the
+// report carries the resolved board, policy, slot count and bandwidth).
+func serveConfigOf(cfg rcsched.Config, rep *rcsched.Report) ServeConfig {
+	shellHz := cfg.ShellHz
+	if shellHz == 0 {
+		shellHz = rcsched.DefaultShellHz
+	}
+	admit := cfg.Admit
+	if admit == "" {
+		admit = rcsched.AdmitOff
+	}
+	return ServeConfig{
+		Board:         rep.Board,
+		Slots:         rep.Slots,
+		ShellHz:       shellHz,
+		Policy:        rep.Policy,
+		ConfigBW:      rep.ConfigBW,
+		Stage:         cfg.Stage,
+		Admit:         admit,
+		FramesPerSlot: cfg.FramesPerSlot,
+	}
+}
+
+func jobSpecsOf(jobs []rcsched.Job) []JobSpec {
+	specs := make([]JobSpec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = JobSpec{
+			ID: j.ID, App: j.App, Size: j.Size,
+			ArrivalPs: j.ArrivalPs, DeadlinePs: j.DeadlinePs, Seed: j.Seed,
+		}
+	}
+	return specs
+}
+
+// jobsOf rebuilds the arrival stream a replay serves; the inverse of
+// jobSpecsOf.
+func jobsOf(specs []JobSpec) []rcsched.Job {
+	jobs := make([]rcsched.Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = rcsched.Job{
+			ID: s.ID, App: s.App, Size: s.Size,
+			ArrivalPs: s.ArrivalPs, DeadlinePs: s.DeadlinePs, Seed: s.Seed,
+		}
+	}
+	return jobs
+}
+
+// jobRecords pins every job report; boardOf (fleet only) annotates each
+// with the board it was routed to.
+func jobRecords(reports []rcsched.JobReport, boardOf map[int]int) []JobRecord {
+	recs := make([]JobRecord, len(reports))
+	for i, j := range reports {
+		recs[i] = JobRecord{
+			ID:          j.ID,
+			App:         j.App,
+			Size:        j.Size,
+			Slot:        j.Slot,
+			Board:       boardOf[j.ID],
+			Disposition: string(j.Disposition),
+			ArrivalPs:   j.ArrivalPs,
+			DeadlinePs:  j.DeadlinePs,
+			QueueWaitPs: j.QueueWaitPs,
+			ReconfigPs:  j.ReconfigPs,
+			ExecPs:      j.ExecPs,
+			LatencyPs:   j.LatencyPs,
+			LatenessPs:  j.LatenessPs,
+			DonePs:      j.DonePs,
+			Reconfig:    j.Reconfigured,
+			Staged:      j.Staged,
+			Missed:      j.Missed,
+			Faults:      j.Faults,
+		}
+	}
+	return recs
+}
+
+func serveAggregate(rep *rcsched.Report) Aggregate {
+	return Aggregate{
+		MakespanPs:      rep.MakespanPs,
+		TotalReconfigPs: rep.TotalReconfigPs,
+		Reconfigs:       rep.Reconfigs,
+		StageCommits:    rep.StageCommits,
+		StageCancels:    rep.StageCancels,
+		MeanWaitPs:      rep.MeanWaitPs,
+		MeanLatencyPs:   rep.MeanLatencyPs,
+		P99LatencyPs:    rep.P99LatencyPs,
+		P99AdmittedPs:   rep.P99AdmittedPs,
+		Misses:          rep.Misses,
+		MissRate:        rep.MissRate,
+		Admitted:        rep.Admitted,
+		Degraded:        rep.Degraded,
+		Rejected:        rep.Rejected,
+		Completed:       rep.Completed,
+		GoodJobs:        rep.GoodJobs,
+		OfferedRPS:      rep.OfferedRPS,
+		AchievedRPS:     rep.AchievedRPS,
+		GoodputRPS:      rep.GoodputRPS,
+		ShedRate:        rep.ShedRate,
+		UtilMean:        rep.UtilMean,
+		Faults:          rep.VIM.Faults,
+	}
+}
+
+func fleetAggregate(rep *fleet.Report, faults uint64) Aggregate {
+	return Aggregate{
+		MakespanPs:      rep.MakespanPs,
+		TotalReconfigPs: rep.TotalReconfigPs,
+		Reconfigs:       rep.Reconfigs,
+		StageCommits:    rep.StageCommits,
+		StageCancels:    rep.StageCancels,
+		P99LatencyPs:    rep.P99LatencyPs,
+		P99AdmittedPs:   rep.P99AdmittedPs,
+		Misses:          rep.Misses,
+		MissRate:        rep.MissRate,
+		Admitted:        rep.Admitted,
+		Degraded:        rep.Degraded,
+		Rejected:        rep.Rejected,
+		Completed:       rep.Completed,
+		GoodJobs:        rep.GoodJobs,
+		OfferedRPS:      rep.OfferedRPS,
+		AchievedRPS:     rep.AchievedRPS,
+		GoodputRPS:      rep.GoodputRPS,
+		ShedRate:        rep.ShedRate,
+		UtilMean:        rep.UtilMean,
+		UtilMin:         rep.UtilMin,
+		UtilMax:         rep.UtilMax,
+		Faults:          faults,
+	}
+}

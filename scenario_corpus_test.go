@@ -1,0 +1,116 @@
+// Scenario corpus replay: every recorded scenario under testdata/scenarios/
+// is a pinned end-to-end run — full config, arrival stream, per-job
+// dispatch decisions and final report — and this driver replays each one
+// bit for bit under BOTH simulation schedulers. Where the golden tables pin
+// aggregate metrics per cell, the corpus pins the step-by-step trajectory,
+// so a regression surfaces as a first-divergence diff ("job 17 landed on
+// slot 1, recorded slot 0") instead of a bare metric delta.
+//
+// Refresh a scenario after an intentional behaviour change with:
+//
+//	go run ./cmd/vimsim -mode record -as <kind> -scenario testdata/scenarios/<name>.json ...
+//
+// (each scenario file's "description" field records the exact command that
+// produced it).
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+const scenarioDir = "testdata/scenarios"
+
+// corpusFloor is the minimum corpus size; shrinking the corpus below the
+// seeded set should be a deliberate, visible act.
+const corpusFloor = 8
+
+func loadScenarioCorpus(t *testing.T) []*scenario.Scenario {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(scenarioDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) < corpusFloor {
+		t.Fatalf("scenario corpus has %d files, want at least %d", len(paths), corpusFloor)
+	}
+	scs := make([]*scenario.Scenario, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scs[i], err = scenario.Parse(data); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+	return scs
+}
+
+// replayCorpusParallel replays every scenario with the given package-default
+// scheduler installed for the whole batch (same two-phase pattern as the
+// golden sweeps: schedulers are sequential phases, scenarios within a phase
+// run concurrently — each replay only touches its own recorder).
+func replayCorpusParallel(t *testing.T, s sim.Scheduler, scs []*scenario.Scenario) []*scenario.Result {
+	t.Helper()
+	prev := sim.SetDefaultScheduler(s)
+	defer sim.SetDefaultScheduler(prev)
+	results := make([]*scenario.Result, len(scs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range scs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := scenario.Replay(scs[i], "")
+			if err != nil {
+				res = &scenario.Result{Name: scs[i].Name, Err: err.Error()}
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// TestScenarioCorpus replays the committed scenario corpus under the
+// lockstep reference scheduler and the event-driven default. Every scenario
+// must reproduce exactly (its own match mode; the seeded corpus is strict),
+// under both engines — the corpus therefore doubles as another
+// whole-system scheduler-equivalence differential.
+func TestScenarioCorpus(t *testing.T) {
+	scs := loadScenarioCorpus(t)
+	phases := []struct {
+		name  string
+		sched sim.Scheduler
+	}{
+		{"lockstep", sim.Lockstep},
+		{"event", sim.EventDriven},
+	}
+	for _, ph := range phases {
+		results := replayCorpusParallel(t, ph.sched, scs)
+		t.Run(ph.name, func(t *testing.T) {
+			for i, sc := range scs {
+				res := results[i]
+				t.Run(sc.Name, func(t *testing.T) {
+					if !res.Pass() {
+						t.Errorf("scenario did not reproduce:\n%s", res.Text())
+					}
+					if res.Err == "" && res.Steps == 0 {
+						t.Errorf("replay matched zero stream steps; scenario pins nothing")
+					}
+				})
+			}
+		})
+	}
+}
