@@ -1,10 +1,11 @@
 // Command docscheck enforces the repository documentation contract: every
 // package (internal, cmd, examples and the root) must carry a package
-// comment on at least one of its non-test files, and every test-corpus
-// count the README quotes (golden cells per table, replay scenarios) must
-// match what actually sits under testdata/. CI runs it next to gofmt and
-// go vet; it exits non-zero listing the undocumented packages and the
-// stale counts.
+// comment on at least one of its non-test files, every internal package
+// must be mentioned in docs/ARCHITECTURE.md (the appendix package map
+// exists for exactly this), and every test-corpus count the README quotes
+// (golden cells per table, replay scenarios) must match what actually
+// sits under testdata/. CI runs it next to gofmt and go vet; it exits
+// non-zero listing the undocumented packages and the stale counts.
 //
 // Usage:
 //
@@ -87,6 +88,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	unmentioned, err := checkArchitectureMentions(root, dirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(unmentioned) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: internal packages missing from docs/ARCHITECTURE.md (add them to the appendix package map):")
+		for _, dir := range unmentioned {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+
 	drift, err := checkReadmeCounts(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
@@ -101,6 +115,40 @@ func main() {
 	}
 	fmt.Printf("docscheck: %d packages documented, %d README counts verified\n",
 		len(dirs), len(readmeCounts))
+}
+
+// checkArchitectureMentions verifies that docs/ARCHITECTURE.md names every
+// internal package (as "internal/<name>") so the architecture guide cannot
+// silently fall behind the package tree. dirs is the sorted package list
+// the package-comment walk already collected.
+func checkArchitectureMentions(root string, dirs []string) ([]string, error) {
+	arch, err := os.ReadFile(filepath.Join(root, "docs/ARCHITECTURE.md"))
+	if err != nil {
+		return nil, err
+	}
+	var unmentioned []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if !strings.HasPrefix(rel, "internal/") {
+			continue
+		}
+		// Mentioning any ancestor package covers its subdirectories.
+		mentioned := false
+		for p := rel; strings.HasPrefix(p, "internal/"); p = filepath.ToSlash(filepath.Dir(p)) {
+			if strings.Contains(string(arch), p) {
+				mentioned = true
+				break
+			}
+		}
+		if !mentioned {
+			unmentioned = append(unmentioned, rel)
+		}
+	}
+	return unmentioned, nil
 }
 
 // readmeCounts binds each corpus count the README quotes to the testdata

@@ -27,6 +27,9 @@
 //	vimsim -mode record -as fleet -scenario f.json -boards 4 -rps 6400
 //	vimsim -mode replay -scenario run.json         # re-execute and match
 //	vimsim -mode replay -scenario testdata/scenarios -format junit
+//	vimsim -mode serve -metrics-out run.prom       # Prometheus-style metrics
+//	vimsim -mode fleet -boards 4 -trace-out f.json # Perfetto-loadable trace
+//	vimsim -mode saturate -metrics-out m.json -sample-ps 1e9  # sampled series
 package main
 
 import (
@@ -80,6 +83,9 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0, "record mode: metrics-match relative tolerance stored in the scenario (0 = default)")
 	format := flag.String("format", "text", "replay mode: result format on stdout: text | json | junit")
 	junitPath := flag.String("junit", "", "replay mode: also write a JUnit XML report to this path")
+	metricsOut := flag.String("metrics-out", "", "serving modes: write the run's metrics to this path (.json suffix = JSON dump, else Prometheus text)")
+	traceOut := flag.String("trace-out", "", "serving modes: write the run's Chrome trace-event JSON (Perfetto-loadable) to this path")
+	samplePs := flag.Float64("sample-ps", 0, "serving modes: simulated-time gauge sampling interval in picoseconds (0 = no time series; needs -metrics-out)")
 	pipelined := flag.Bool("pipelined", false, "use the pipelined IMU")
 	bounce := flag.Bool("bounce", false, "use the double-transfer (bounce buffer) page path")
 	prefetch := flag.Int("prefetch", 0, "sequential prefetch pages per fault")
@@ -87,6 +93,7 @@ func main() {
 	vcdPath := flag.String("vcd", "", "write a session waveform (VCD) to this path (vim mode only)")
 	flag.Parse()
 	vcdOut = *vcdPath
+	tele := telemetryFlags{metricsOut: *metricsOut, traceOut: *traceOut, samplePs: *samplePs}
 
 	cfg := repro.Config{
 		Board:         *board,
@@ -128,7 +135,10 @@ func main() {
 				log.Fatalf("mode serve does not support %s (serves the generated mixed trace on a static-partition shell)", f.name)
 			}
 		}
-		if err := runServe(*board, pol, *slots, *jobs, *bw, *gap, *budget, *seed, *stage); err != nil {
+		if err := tele.validate(false); err != nil {
+			log.Fatal(err)
+		}
+		if err := runServe(*board, pol, *slots, *jobs, *bw, *gap, *budget, *seed, *stage, tele); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -165,8 +175,11 @@ func main() {
 		if err := validateSaturate(*rps, *arrival, *admit, *budget, *jobs); err != nil {
 			log.Fatal(err)
 		}
+		if err := tele.validate(*ramp); err != nil {
+			log.Fatal(err)
+		}
 		if err := runSaturate(*board, pol, *slots, *jobs, *bw, *budget, *seed, *stage,
-			*rps, *arrival, *admit, *ramp); err != nil {
+			*rps, *arrival, *admit, *ramp, tele); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -203,8 +216,11 @@ func main() {
 		if err := validateSaturate(*rps, *arrival, *admit, *budget, *jobs); err != nil {
 			log.Fatal(err)
 		}
+		if err := tele.validate(*ramp); err != nil {
+			log.Fatal(err)
+		}
 		if err := runFleet(*board, pol, *dispatch, *boards, *slots, *jobs, *bw, *budget,
-			*seed, *stage, *rps, *arrival, *admit, *ramp); err != nil {
+			*seed, *stage, *rps, *arrival, *admit, *ramp, tele); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -257,6 +273,9 @@ func main() {
 		if err := validateRecord(*as, *scenarioPath, *match, *tolerance, *ramp); err != nil {
 			log.Fatal(err)
 		}
+		if err := tele.validate(*ramp); err != nil {
+			log.Fatal(err)
+		}
 		if *as != "serve" {
 			if err := validateSaturate(*rps, *arrival, *admit, *budget, *jobs); err != nil {
 				log.Fatal(err)
@@ -267,7 +286,7 @@ func main() {
 		}
 		if err := runRecord(*scenarioPath, *as, *board, pol, *dispatch, *boards, *slots, *jobs,
 			*bw, *gap, *budget, *seed, *stage, *rps, *arrival, *admit,
-			scenario.Match{Mode: *match, Tolerance: *tolerance}); err != nil {
+			scenario.Match{Mode: *match, Tolerance: *tolerance}, tele); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -311,7 +330,10 @@ func main() {
 		if err := validateReplay(*scenarioPath, *match, *format); err != nil {
 			log.Fatal(err)
 		}
-		ok, err := runReplay(*scenarioPath, *match, *format, *junitPath)
+		if err := tele.validate(false); err != nil {
+			log.Fatal(err)
+		}
+		ok, err := runReplay(*scenarioPath, *match, *format, *junitPath, tele)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -335,6 +357,9 @@ func main() {
 	if *scenarioPath != "" || *as != "serve" || *match != "" || *tolerance != 0 ||
 		*format != "text" || *junitPath != "" {
 		log.Fatalf("-scenario, -as, -match, -tolerance, -format and -junit only apply to -mode record or replay")
+	}
+	if tele.enabled() || tele.samplePs != 0 {
+		log.Fatalf("-metrics-out, -trace-out and -sample-ps only apply to -mode serve, saturate, fleet, record or replay")
 	}
 
 	if *mode == "multi" {
@@ -549,7 +574,7 @@ func runMulti(board, arb string, split, size int, seed int64) error {
 // runServe generates a seeded multi-user job stream and serves it through
 // the dynamic reconfiguration scheduler, printing the per-job log and the
 // aggregate report.
-func runServe(board, policy string, slots, jobs int, bw, gapMs, budget float64, seed int64, stage bool) error {
+func runServe(board, policy string, slots, jobs int, bw, gapMs, budget float64, seed int64, stage bool, tele telemetryFlags) error {
 	if budget <= 0 {
 		return fmt.Errorf("service-level budget factor must be positive, got %g", budget)
 	}
@@ -558,12 +583,14 @@ func runServe(board, policy string, slots, jobs int, bw, gapMs, budget float64, 
 		return err
 	}
 	rcsched.SetBudgets(stream, budget)
+	meter := tele.meter()
 	rep, err := rcsched.Serve(rcsched.Config{
 		Board:    board,
 		Slots:    slots,
 		Policy:   policy,
 		ConfigBW: bw,
 		Stage:    stage,
+		Meter:    meter,
 	}, stream)
 	if err != nil {
 		return err
@@ -606,7 +633,7 @@ func runServe(board, policy string, slots, jobs int, bw, gapMs, budget float64, 
 			j.ID, j.App, j.Size, j.Slot, j.ArrivalPs/1e9, j.QueueWaitPs/1e9, j.ExecPs/1e9, j.DonePs/1e9,
 			j.DeadlinePs/1e9, slo, reconf)
 	}
-	return nil
+	return tele.export(meter)
 }
 
 // validateSaturate checks the saturate-mode flag combination before any
@@ -642,7 +669,8 @@ func validateSaturate(rps float64, arrival, admit string, budget float64, jobs i
 // RPS up a linear ramp until the overload detector fires — and prints the
 // saturation report.
 func runSaturate(board, policy string, slots, jobs int, bw, budget float64, seed int64,
-	stage bool, rps float64, arrival, admit string, ramp bool) error {
+	stage bool, rps float64, arrival, admit string, ramp bool, tele telemetryFlags) error {
+	meter := tele.meter() // nil on a ramp: tele.validate rejected the combination
 	cfg := rcsched.Config{
 		Board:    board,
 		Slots:    slots,
@@ -650,6 +678,7 @@ func runSaturate(board, policy string, slots, jobs int, bw, budget float64, seed
 		ConfigBW: bw,
 		Stage:    stage,
 		Admit:    admit,
+		Meter:    meter,
 	}
 	spec := traffic.Spec{Process: arrival, RPS: rps}
 
@@ -737,7 +766,7 @@ func runSaturate(board, policy string, slots, jobs int, bw, budget float64, seed
 				j.DonePs/1e9, j.DeadlinePs/1e9, slo)
 		}
 	}
-	return nil
+	return tele.export(meter)
 }
 
 // runFleet dispatches one open-loop stream across a pool of independent
@@ -745,7 +774,8 @@ func runSaturate(board, policy string, slots, jobs int, bw, budget float64, seed
 // overload detector fires on the merged fleet report — and prints the
 // fleet-wide aggregates, the per-board breakdown and the routed job log.
 func runFleet(board, policy, dispatch string, boards, slots, jobs int, bw, budget float64,
-	seed int64, stage bool, rps float64, arrival, admit string, ramp bool) error {
+	seed int64, stage bool, rps float64, arrival, admit string, ramp bool, tele telemetryFlags) error {
+	meter := tele.meter() // nil on a ramp: tele.validate rejected the combination
 	cfg := fleet.Config{
 		Boards:   boards,
 		Dispatch: dispatch,
@@ -758,6 +788,7 @@ func runFleet(board, policy, dispatch string, boards, slots, jobs int, bw, budge
 			Stage:    stage,
 			Admit:    admit,
 		},
+		Meter: meter,
 	}
 	spec := traffic.Spec{Process: arrival, RPS: rps}
 
@@ -857,7 +888,7 @@ func runFleet(board, policy, dispatch string, boards, slots, jobs int, bw, budge
 				j.DonePs/1e9, j.DeadlinePs/1e9, slo)
 		}
 	}
-	return nil
+	return tele.export(meter)
 }
 
 // validateRecord checks the record-mode flag combination before any
@@ -943,11 +974,12 @@ func recordStream(as string, jobs int, gapMs, budget float64, seed int64,
 // greppable for how each pinned run was produced.
 func runRecord(path, as, board, policy, dispatch string, boards, slots, jobs int,
 	bw, gapMs, budget float64, seed int64, stage bool,
-	rps float64, arrival, admit string, match scenario.Match) error {
+	rps float64, arrival, admit string, match scenario.Match, tele telemetryFlags) error {
 	stream, err := recordStream(as, jobs, gapMs, budget, seed, rps, arrival)
 	if err != nil {
 		return err
 	}
+	meter := tele.meter()
 	name := strings.TrimSuffix(filepath.Base(path), ".json")
 	desc := fmt.Sprintf("vimsim -mode record -as %s -scenario %s -board %s -policy %s -slots %d -jobs %d -seed %d",
 		as, filepath.Base(path), board, policy, slots, jobs, seed)
@@ -971,10 +1003,12 @@ func runRecord(path, as, board, policy, dispatch string, boards, slots, jobs int
 	switch as {
 	case "serve":
 		desc += fmt.Sprintf(" -gap %g", gapMs)
+		boardCfg.Meter = meter
 		sc, err = scenario.RecordServe(name, desc, boardCfg, stream, match)
 	case "saturate":
 		desc += fmt.Sprintf(" -arrival %s -rps %g -admit %s", arrival, rps, admit)
 		boardCfg.Admit = admit
+		boardCfg.Meter = meter
 		sc, err = scenario.RecordServe(name, desc, boardCfg, stream, match)
 	case "fleet":
 		desc += fmt.Sprintf(" -arrival %s -rps %g -admit %s -boards %d -dispatch %s",
@@ -985,6 +1019,7 @@ func runRecord(path, as, board, policy, dispatch string, boards, slots, jobs int
 			Dispatch: dispatch,
 			Seed:     seed,
 			Board:    boardCfg,
+			Meter:    meter,
 		}, stream, match)
 	default:
 		return fmt.Errorf("record: unknown -as %q", as)
@@ -1012,17 +1047,20 @@ func runRecord(path, as, board, policy, dispatch string, boards, slots, jobs int
 	fmt.Printf("jobs        %d pinned (%d decision steps)\n", len(sc.Jobs), steps)
 	fmt.Printf("makespan    %.3f ms\n", sc.Expect.Aggregate.MakespanPs/1e9)
 	fmt.Printf("replay      vimsim -mode replay -scenario %s\n", path)
-	return nil
+	return tele.export(meter)
 }
 
 // runReplay replays one scenario file — or every *.json under a directory,
 // the corpus case — and renders the results in the selected format. The
 // boolean result is the overall verdict: false (a non-zero exit) when any
 // scenario failed to parse or reproduce.
-func runReplay(path, match, format, junitOut string) (bool, error) {
+func runReplay(path, match, format, junitOut string, tele telemetryFlags) (bool, error) {
 	info, err := os.Stat(path)
 	if err != nil {
 		return false, err
+	}
+	if tele.enabled() && info.IsDir() {
+		return false, fmt.Errorf("replay: -metrics-out and -trace-out export exactly one replayed run, but %s is a corpus directory (replay one scenario file)", path)
 	}
 	files := []string{path}
 	if info.IsDir() {
@@ -1057,8 +1095,15 @@ func runReplay(path, match, format, junitOut string) (bool, error) {
 			})
 			continue
 		}
-		res, err := scenario.Replay(sc, match)
+		// A single-file replay may carry telemetry: the metered re-run must
+		// match the scenario exactly like an unmetered one (passivity), so
+		// the exports double as a pinned-run telemetry snapshot.
+		meter := tele.meter()
+		res, err := scenario.ReplayMetered(sc, match, meter)
 		if err != nil {
+			return false, err
+		}
+		if err := tele.export(meter); err != nil {
 			return false, err
 		}
 		results = append(results, res)

@@ -105,6 +105,49 @@ func TestValidateRecordFlags(t *testing.T) {
 	}
 }
 
+// TestValidateTelemetryFlags sweeps the telemetry flag validation shared
+// by every serving mode: degenerate sampling intervals, outputs nobody
+// receives, ramp sweeps that would overwrite one file per step, and
+// unwritable output paths must all fail before any simulation starts.
+func TestValidateTelemetryFlags(t *testing.T) {
+	missing := t.TempDir() + "/no/such"
+	cases := []struct {
+		name string
+		f    telemetryFlags
+		ramp bool
+		hint string
+	}{
+		{"defaults", telemetryFlags{}, false, ""},
+		{"metrics only", telemetryFlags{metricsOut: "m.prom"}, false, ""},
+		{"trace only", telemetryFlags{traceOut: "t.json"}, false, ""},
+		{"both with sampling", telemetryFlags{metricsOut: "m.json", traceOut: "t.json", samplePs: 1e9}, false, ""},
+		{"ramp without telemetry", telemetryFlags{}, true, ""},
+		{"negative interval", telemetryFlags{metricsOut: "m.prom", samplePs: -1}, false, "-sample-ps must be non-negative"},
+		{"sampling without metrics", telemetryFlags{samplePs: 1e9}, false, "-sample-ps needs -metrics-out"},
+		{"sampling into trace only", telemetryFlags{traceOut: "t.json", samplePs: 1e9}, false, "-sample-ps needs -metrics-out"},
+		{"ramp with metrics", telemetryFlags{metricsOut: "m.prom"}, true, "-ramp sweeps many"},
+		{"ramp with trace", telemetryFlags{traceOut: "t.json"}, true, "-ramp sweeps many"},
+		{"unwritable metrics path", telemetryFlags{metricsOut: missing + "/m.prom"}, false, "does not exist"},
+		{"unwritable trace path", telemetryFlags{traceOut: missing + "/t.json"}, false, "does not exist"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkHint(t, c.f.validate(c.ramp), c.hint)
+		})
+	}
+}
+
+// TestReplayDirectoryRejectsTelemetry pins the corpus-sweep restriction:
+// telemetry exports attach to exactly one replayed run, so a directory
+// replay with -metrics-out must fail up front naming the directory.
+func TestReplayDirectoryRejectsTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	_, err := runReplay(dir, "", "text", "", telemetryFlags{metricsOut: dir + "/m.prom"})
+	if err == nil || !strings.Contains(err.Error(), "corpus directory") {
+		t.Fatalf("directory replay with telemetry: err = %v, want corpus-directory rejection", err)
+	}
+}
+
 // TestValidateReplayFlags sweeps the replay-mode flag validation.
 func TestValidateReplayFlags(t *testing.T) {
 	type flags struct {

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// telemetryFlags bundles the -metrics-out, -trace-out and -sample-ps flag
+// values. Telemetry attaches to exactly one serving run (serve, saturate,
+// fleet, record, or a single-file replay); the exports are deterministic,
+// so two same-seed runs write byte-identical files.
+type telemetryFlags struct {
+	metricsOut string
+	traceOut   string
+	samplePs   float64
+}
+
+// enabled reports whether any telemetry output was requested.
+func (tf telemetryFlags) enabled() bool {
+	return tf.metricsOut != "" || tf.traceOut != ""
+}
+
+// validate checks the telemetry flag combination before any simulation
+// work starts; every rejection is a one-line error carrying a usage hint
+// (main turns it into a non-zero exit), matching the other validators.
+func (tf telemetryFlags) validate(ramp bool) error {
+	if tf.samplePs < 0 {
+		return fmt.Errorf("telemetry: -sample-ps must be non-negative, got %g (simulated picoseconds between gauge samples; try -sample-ps 1e9)", tf.samplePs)
+	}
+	if tf.samplePs > 0 && tf.metricsOut == "" {
+		return fmt.Errorf("telemetry: -sample-ps needs -metrics-out to receive the sampled series")
+	}
+	if ramp && tf.enabled() {
+		return fmt.Errorf("telemetry: -metrics-out and -trace-out export exactly one run, but -ramp sweeps many (export the knee rate instead: -rps <knee>)")
+	}
+	for _, p := range []string{tf.metricsOut, tf.traceOut} {
+		if p == "" {
+			continue
+		}
+		if info, err := os.Stat(filepath.Dir(p)); err != nil || !info.IsDir() {
+			return fmt.Errorf("telemetry: output directory %s does not exist (for %s)", filepath.Dir(p), p)
+		}
+	}
+	return nil
+}
+
+// meter builds the run's meter, or nil when no telemetry was requested —
+// the off switch the instrumented layers treat as a no-op.
+func (tf telemetryFlags) meter() *telemetry.Meter {
+	if !tf.enabled() {
+		return nil
+	}
+	return telemetry.NewMeter(tf.samplePs)
+}
+
+// export writes the requested telemetry files from a finished run's meter
+// (a nil meter writes nothing). -metrics-out renders the JSON dump when
+// the path ends in .json and Prometheus text otherwise; -trace-out is
+// Chrome trace-event JSON either way.
+func (tf telemetryFlags) export(m *telemetry.Meter) error {
+	if m == nil {
+		return nil
+	}
+	if tf.metricsOut != "" {
+		var data []byte
+		if strings.HasSuffix(tf.metricsOut, ".json") {
+			var err error
+			if data, err = m.DumpJSON(); err != nil {
+				return fmt.Errorf("telemetry: %w", err)
+			}
+		} else {
+			data = []byte(m.PromText())
+		}
+		if err := os.WriteFile(tf.metricsOut, data, 0o644); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Printf("metrics     %s\n", tf.metricsOut)
+	}
+	if tf.traceOut != "" {
+		data, err := m.Trace().Marshal()
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		if err := os.WriteFile(tf.traceOut, data, 0o644); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Printf("trace       %s (load in ui.perfetto.dev or chrome://tracing)\n", tf.traceOut)
+	}
+	return nil
+}

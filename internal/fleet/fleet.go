@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro"
 	"repro/internal/rcsched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Dispatch-policy names for Config.Dispatch.
@@ -86,6 +88,13 @@ type Config struct {
 	// Serve calls it only from that board's goroutine. Observation is
 	// passive: a nil-Observe run is bit-identical to an observed one.
 	Observe Observer
+	// Meter, when non-nil, collects the fleet run's telemetry: the
+	// dispatcher's routing decisions and per-board backlog series feed it
+	// directly, and each board's serving run gets a child meter (boards
+	// run concurrently) folded back in under a "board" label after all
+	// boards join — in board order, so the result is deterministic.
+	// Strictly passive, like Observe (overrides Board.Meter).
+	Meter *telemetry.Meter
 }
 
 // Observer hands out one rcsched.Observer per board for a fleet run; see
@@ -421,9 +430,11 @@ func Run(cfg Config, jobs []rcsched.Job) (*Report, error) {
 		Boards:    make([]*rcsched.Report, cfg.Boards),
 		Decisions: decisions,
 	}
+	meterRoute(cfg.Meter, name, decisions)
 
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.Boards)
+	meters := make([]*telemetry.Meter, cfg.Boards)
 	for b := range subs {
 		if len(subs[b]) == 0 {
 			// An idle board serves nothing: an explicit empty report keeps
@@ -439,6 +450,11 @@ func Run(cfg Config, jobs []rcsched.Job) (*Report, error) {
 		if cfg.Observe != nil {
 			boardCfg.Observer = cfg.Observe.BoardObserver(b)
 		}
+		// Each board gets its own child meter (boards run concurrently;
+		// a Meter is single-goroutine) and its own trace pid.
+		meters[b] = cfg.Meter.Child()
+		boardCfg.Meter = meters[b]
+		boardCfg.TracePid = rcsched.ServeBoardPid + b
 		wg.Add(1)
 		go func(b int, boardCfg rcsched.Config) {
 			defer wg.Done()
@@ -456,7 +472,14 @@ func Run(cfg Config, jobs []rcsched.Job) (*Report, error) {
 			return nil, err
 		}
 	}
+	// Fold the board meters back in board order — deterministic no matter
+	// how the serving goroutines interleaved (Absorb of a nil child is a
+	// no-op, so idle boards just don't contribute).
+	for b, child := range meters {
+		cfg.Meter.Absorb(child, "board", strconv.Itoa(b))
+	}
 	aggregate(rep, cfg)
+	meterFleet(cfg.Meter, rep)
 	return rep, nil
 }
 

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/rcsched"
+	"repro/internal/telemetry"
+)
+
+// This file is the fleet side of the telemetry adapter (rcsched has the
+// per-board one): the dispatcher's routing trace feeds the meter directly —
+// per-board backlog gauges sampled at the decision epochs, routing
+// counters, one trace instant per decision — and the aggregated fleet
+// report contributes the fleet-wide tallies. Everything derives from data
+// Run computes anyway, so metering never perturbs a run.
+
+// meterRoute replays the dispatch trace onto m. It runs before the boards
+// are served, single-threaded, in decision (arrival) order: the sampler
+// advances to each epoch before the backlog gauges take that epoch's
+// values, so a sampled boundary records the dispatcher's model state just
+// before the first decision at or after it.
+func meterRoute(m *telemetry.Meter, dispatch string, decisions []Decision) {
+	if m == nil {
+		return
+	}
+	tr := m.Trace()
+	tr.NameProcess(rcsched.SchedulerPid, "dispatcher ("+dispatch+")")
+	tr.NameThread(rcsched.SchedulerPid, 0, "routing")
+	for i := range decisions {
+		d := &decisions[i]
+		m.Advance(d.EpochPs)
+		for b, l := range d.LoadsPs {
+			m.Set("fleet_backlog_ps", l, "board", strconv.Itoa(b))
+		}
+		board := strconv.Itoa(d.Board)
+		m.Count("fleet_routed_total", 1, "board", board)
+		if d.Resident[d.Board] {
+			m.Count("fleet_route_resident_total", 1)
+		}
+		tr.Instant(telemetry.Instant{
+			Name: fmt.Sprintf("route job %d -> board %d", d.Job, d.Board),
+			Pid:  rcsched.SchedulerPid, Tid: 0, AtPs: d.EpochPs,
+			Args: map[string]string{"job": strconv.Itoa(d.Job), "board": board},
+		})
+	}
+}
+
+// meterFleet folds the aggregated fleet report into m: population and shed
+// tallies plus the utilisation spread the dispatch policies are judged on.
+// Per-board detail is already present under "board" labels from the
+// absorbed child meters.
+func meterFleet(m *telemetry.Meter, rep *Report) {
+	if m == nil {
+		return
+	}
+	m.Count("fleet_jobs_total", uint64(len(rep.Jobs)))
+	m.Count("fleet_shed_total", uint64(rep.Rejected))
+	m.Count("fleet_degraded_total", uint64(rep.Degraded))
+	m.Set("fleet_makespan_ps", rep.MakespanPs)
+	m.Set("fleet_util_mean", rep.UtilMean)
+	m.Set("fleet_util_min", rep.UtilMin)
+	m.Set("fleet_util_max", rep.UtilMax)
+}

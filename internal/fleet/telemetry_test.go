@@ -1,0 +1,94 @@
+// Telemetry tests for the fleet layer: metering a run never changes its
+// report, the absorbed per-board series carry board labels, and two
+// same-seed metered runs export byte-identical metrics and traces even
+// though the boards serve on concurrently scheduled goroutines.
+package fleet_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/rcsched"
+	"repro/internal/telemetry"
+)
+
+func meteredFleetConfig(m *telemetry.Meter) fleet.Config {
+	return fleet.Config{
+		Boards:   3,
+		Dispatch: fleet.Affinity,
+		Seed:     7,
+		Board:    rcsched.Config{Policy: "slack", Slots: 2, Stage: true, Admit: rcsched.AdmitReject},
+		Meter:    m,
+	}
+}
+
+func TestFleetMeterPassive(t *testing.T) {
+	jobs := stream(t, 48, 9090, 3200)
+	plain, err := fleet.Run(meteredFleetConfig(nil), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered, err := fleet.Run(meteredFleetConfig(telemetry.NewMeter(1e9)), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, metered) {
+		t.Error("metering a fleet run changed its report")
+	}
+}
+
+func TestFleetMeterDeterministicAcrossRuns(t *testing.T) {
+	jobs := stream(t, 48, 9090, 3200)
+	export := func() (metrics, trace []byte) {
+		m := telemetry.NewMeter(1e9)
+		if _, err := fleet.Run(meteredFleetConfig(m), jobs); err != nil {
+			t.Fatal(err)
+		}
+		metrics, err := m.DumpJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err = m.Trace().Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics, trace
+	}
+	m1, t1 := export()
+	m2, t2 := export()
+	if !bytes.Equal(m1, m2) {
+		t.Error("same-seed fleet runs dumped different metrics")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("same-seed fleet runs exported different traces")
+	}
+
+	// The absorbed board series carry board labels; the dispatcher's own
+	// backlog series exists for every board and is non-empty.
+	m := telemetry.NewMeter(1e9)
+	rep, err := fleet.Run(meteredFleetConfig(m), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawQueue := false
+	for b := 0; b < 3; b++ {
+		if len(rep.Boards[b].Jobs) == 0 {
+			continue
+		}
+		bl := string(rune('0' + b))
+		if s := m.GaugeSamples("fleet_backlog_ps", "board", bl); len(s) == 0 {
+			t.Errorf("no backlog samples for board %d", b)
+		}
+		if s := m.GaugeSamples("rcsched_queue_depth", "board", bl); len(s) > 0 {
+			sawQueue = true
+		}
+	}
+	if !sawQueue {
+		t.Error("no absorbed per-board queue-depth series")
+	}
+	if !bytes.Contains(t1, []byte("dispatcher (affinity)")) {
+		t.Error("trace lacks the dispatcher process name")
+	}
+}

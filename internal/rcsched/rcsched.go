@@ -34,6 +34,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vim"
 )
 
@@ -90,6 +91,16 @@ type Config struct {
 	// serving loop makes them. Observation is passive: a nil-Observer run
 	// is bit-identical to an observed one.
 	Observer Observer
+	// Meter, when non-nil, receives the run's telemetry: live gauges
+	// (queue depth, slot states) sampled on simulated time, and counters,
+	// histograms and trace spans folded in from the final report. Like
+	// Observer it is strictly passive — a nil-Meter run is bit-identical
+	// to a metered one.
+	Meter *telemetry.Meter
+	// TracePid is the trace process ID the run's slot tracks render
+	// under (0 means ServeBoardPid). A fleet assigns each board its own
+	// pid so board tracks stay distinct in the merged trace.
+	TracePid int
 }
 
 // JobReport is the measured outcome of one served job.
@@ -178,6 +189,16 @@ type Report struct {
 	SlotBusyPs []float64
 	UtilMean   float64
 
+	// SlotOccupancy breaks each slot's makespan into execution, configura-
+	// tion and idle time. Unlike SlotBusyPs (dispatch decision to
+	// completion, the utilisation definition the golden cells pin),
+	// BusyPs counts launch to completion only, ConfigPs accrues exactly
+	// where TotalReconfigPs does (so the per-slot values sum to it), and
+	// IdlePs is the makespan remainder — the three shares sum to
+	// MakespanPs per slot by construction. This is the single source of
+	// truth the telemetry exporters read; nothing re-derives occupancy.
+	SlotOccupancy []SlotShare
+
 	// The software components of the shared timeline, in picoseconds.
 	SWDPPs  float64
 	SWIMUPs float64
@@ -185,6 +206,20 @@ type Report struct {
 
 	VIM vim.Counters // aggregate across all job sessions
 	IMU imu.Counters // aggregate across all channels
+
+	// IMUCh is each channel's slice of the IMU counters, channel = slot.
+	// (The engine's own scheduling tallies — edges, skips, heap ops — go
+	// to the Meter only: they are scheduler-implementation detail, and
+	// the two sim schedulers legitimately skip different edge counts, so
+	// storing them here would break scheduler-equivalence comparisons.)
+	IMUCh []imu.Counters
+}
+
+// SlotShare is one slot's occupancy breakdown (see Report.SlotOccupancy).
+type SlotShare struct {
+	BusyPs   float64 // launch -> completion (execution, fault service included)
+	ConfigPs float64 // configuration-port time serialised on the slot
+	IdlePs   float64 // makespan remainder
 }
 
 // alarm is a bounded-idle ticker on the shell clock: it never does anything
@@ -335,12 +370,13 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	}
 
 	rep := &Report{
-		Board:      spec.Name,
-		Policy:     policy.Name(),
-		Slots:      cfg.Slots,
-		ConfigBW:   cfg.ConfigBW,
-		Jobs:       make([]JobReport, len(order)),
-		SlotBusyPs: make([]float64, cfg.Slots),
+		Board:         spec.Name,
+		Policy:        policy.Name(),
+		Slots:         cfg.Slots,
+		ConfigBW:      cfg.ConfigBW,
+		Jobs:          make([]JobReport, len(order)),
+		SlotBusyPs:    make([]float64, cfg.Slots),
+		SlotOccupancy: make([]SlotShare, cfg.Slots),
 	}
 	board.Kern.TL.Reset()
 	board.IMU.ResetCounters()
@@ -355,6 +391,32 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	completed := 0
 	budget := cfg.Budget
 	irq := board.IMU.IRQRef()
+
+	// Live gauges for the simulated-time sampler. The closures read loop
+	// state the scheduler maintains anyway; a nil meter makes every call a
+	// no-op, so the serving loop below never varies on the meter's
+	// presence (only the Advance calls are gated, purely to skip the
+	// NowPs computation they alone would need).
+	meter := cfg.Meter
+	meter.SetFunc("rcsched_queue_depth", func() float64 { return float64(len(queue)) })
+	meter.SetFunc("rcsched_slots_busy", func() float64 {
+		n := 0
+		for s := range slots {
+			if slots[s].mb != nil {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	meter.SetFunc("rcsched_slots_config", func() float64 {
+		n := 0
+		for s := range slots {
+			if slots[s].reconfigUntil >= 0 {
+				n++
+			}
+		}
+		return float64(n)
+	})
 
 	// estPs is the policy-visible execution estimate from the calibrated
 	// cost model (the same ExecEstPs that derives deadline budgets, so the
@@ -466,6 +528,9 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 
 	for completed < len(order) {
 		now := dom.Cycles()
+		if meter != nil {
+			meter.Advance(eng.NowPs())
+		}
 
 		// Admit every job whose arrival instant has passed, deciding its
 		// disposition on the spot: a provably-late job is shed (rejected,
@@ -633,6 +698,7 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 				slots[s].stagedHit = true
 				rep.StageCommits++
 				rep.TotalReconfigPs += slots[s].reconfigPs
+				rep.SlotOccupancy[s].ConfigPs += slots[s].reconfigPs
 				continue
 			}
 			if cfg.Stage && g.Shell.Slots[s].Staged() != "" {
@@ -669,6 +735,7 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 			slots[s].reconfigPs = float64(edges) * periodPs
 			rep.Reconfigs++
 			rep.TotalReconfigPs += slots[s].reconfigPs
+			rep.SlotOccupancy[s].ConfigPs += slots[s].reconfigPs
 		}
 
 		// Retarget a stale stage: when the job a bitstream was staged for
@@ -846,6 +913,25 @@ func Serve(cfg Config, jobs []Job) (*Report, error) {
 	if len(order) > 1 && lastArrivalPs > 0 {
 		rep.OfferedRPS = float64(len(order)-1) * 1e12 / lastArrivalPs
 	}
+	// Idle time is the makespan remainder, making the three occupancy
+	// shares sum to MakespanPs per slot by construction.
+	for s := range rep.SlotOccupancy {
+		o := &rep.SlotOccupancy[s]
+		o.IdlePs = rep.MakespanPs - o.BusyPs - o.ConfigPs
+	}
+	rep.IMUCh = make([]imu.Counters, cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		rep.IMUCh[s] = board.IMU.ChCounters(s)
+	}
+	if meter != nil {
+		meter.Advance(eng.NowPs())
+		meterReport(meter, rep, eng.Stats())
+		pid := cfg.TracePid
+		if pid == 0 {
+			pid = ServeBoardPid
+		}
+		TraceReport(meter.Trace(), rep, pid)
+	}
 	return rep, nil
 }
 
@@ -887,5 +973,6 @@ func finishJob(rep *Report, k *kernel.Kernel, job *Job, p *prepared, sr *slotRun
 	}
 	rep.Jobs[idx] = jr
 	rep.SlotBusyPs[s] += done - sr.dispatchPs
+	rep.SlotOccupancy[s].BusyPs += done - sr.startPs
 	return nil
 }

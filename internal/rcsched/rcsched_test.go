@@ -386,3 +386,50 @@ func TestStagingSchedulerEquivalence(t *testing.T) {
 		t.Fatal("fixture rot: staging never committed, equivalence not exercised")
 	}
 }
+
+// TestSlotOccupancySumsToMakespan is the regression test for the per-slot
+// occupancy breakdown: for every slot the busy, config and idle shares
+// must sum to the makespan (they are defined that way — the test guards
+// the accrual sites against drifting apart), idle must never go negative
+// (execution and configuration intervals on one slot cannot exceed the
+// run), and the per-slot config shares must sum to TotalReconfigPs, since
+// the two accrue at the same code sites.
+func TestSlotOccupancySumsToMakespan(t *testing.T) {
+	jobs := mustTrace(t, 16, 4242, 0.15e9)
+	for _, c := range []struct {
+		policy string
+		stage  bool
+		admit  string
+	}{
+		{"fcfs", false, ""},
+		{"affinity", true, ""},
+		{"slack", true, AdmitReject},
+	} {
+		rep, err := Serve(Config{Policy: c.policy, Slots: 2, Stage: c.stage, Admit: c.admit}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.policy, err)
+		}
+		if len(rep.SlotOccupancy) != rep.Slots {
+			t.Fatalf("%s: %d occupancy entries for %d slots", c.policy, len(rep.SlotOccupancy), rep.Slots)
+		}
+		const eps = 1e-3 // ps; float accrual rounding only
+		configSum := 0.0
+		for s, o := range rep.SlotOccupancy {
+			sum := o.BusyPs + o.ConfigPs + o.IdlePs
+			if diff := sum - rep.MakespanPs; diff > eps || diff < -eps {
+				t.Errorf("%s: slot %d shares sum to %v, makespan %v", c.policy, s, sum, rep.MakespanPs)
+			}
+			if o.IdlePs < -eps {
+				t.Errorf("%s: slot %d negative idle %v (busy %v + config %v exceed makespan %v)",
+					c.policy, s, o.IdlePs, o.BusyPs, o.ConfigPs, rep.MakespanPs)
+			}
+			if o.BusyPs <= 0 {
+				t.Errorf("%s: slot %d never executed", c.policy, s)
+			}
+			configSum += o.ConfigPs
+		}
+		if diff := configSum - rep.TotalReconfigPs; diff > eps || diff < -eps {
+			t.Errorf("%s: per-slot config sum %v != TotalReconfigPs %v", c.policy, configSum, rep.TotalReconfigPs)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/rcsched"
+	"repro/internal/telemetry"
 )
 
 // Result is the outcome of replaying one scenario.
@@ -34,6 +35,14 @@ func (r *Result) Pass() bool { return r.Err == "" && len(r.Divergences) == 0 }
 // the file's mode). Execution failures land in Result.Err so a corpus
 // sweep can keep going; only a nonsensical override is an error here.
 func Replay(sc *Scenario, modeOverride string) (*Result, error) {
+	return ReplayMetered(sc, modeOverride, nil)
+}
+
+// ReplayMetered is Replay with a telemetry meter attached to the replayed
+// run. Telemetry is strictly passive, so a metered replay must match the
+// scenario exactly as an unmetered one does — the corpus doubles as the
+// telemetry regression suite.
+func ReplayMetered(sc *Scenario, modeOverride string, m *telemetry.Meter) (*Result, error) {
 	match := sc.Match
 	switch modeOverride {
 	case "":
@@ -51,9 +60,13 @@ func Replay(sc *Scenario, modeOverride string) (*Result, error) {
 	var err error
 	switch sc.Kind {
 	case KindServe:
-		re, err = RecordServe(sc.Name, "", sc.serveConfig(), jobsOf(sc.Jobs), match)
+		cfg := sc.serveConfig()
+		cfg.Meter = m
+		re, err = RecordServe(sc.Name, "", cfg, jobsOf(sc.Jobs), match)
 	case KindFleet:
-		re, err = RecordFleet(sc.Name, "", sc.fleetConfig(), jobsOf(sc.Jobs), match)
+		cfg := sc.fleetConfig()
+		cfg.Meter = m
+		re, err = RecordFleet(sc.Name, "", cfg, jobsOf(sc.Jobs), match)
 	default:
 		err = fmt.Errorf("scenario %s: unknown kind %q", sc.Name, sc.Kind)
 	}

@@ -75,6 +75,50 @@ func TestIdleSkipMatchesUnskipped(t *testing.T) {
 	}
 }
 
+// TestStatsAccountAllEdges pins the telemetry invariant behind
+// Engine.Stats: delivered plus skipped edges must equal the sum of the
+// per-domain cycle counters, under both schedulers and across every skip
+// path (the lockstep inline skip bypasses Domain.skipEdges and is counted
+// separately).
+func TestStatsAccountAllEdges(t *testing.T) {
+	for _, sched := range []Scheduler{EventDriven, Lockstep} {
+		e := NewEngine()
+		e.SetScheduler(sched)
+		fast := e.NewDomain("fast", 4000)
+		slow := e.NewDomain("slow", 1000)
+		fast.Attach(alwaysIdle{})
+		c := &counter{}
+		slow.Attach(c)
+		for i := 0; i < 100; i++ {
+			e.step()
+		}
+		st := e.Stats()
+		total := fast.Cycles() + slow.Cycles()
+		if st.EdgesDelivered+st.EdgesSkipped != total {
+			t.Fatalf("%v: delivered %d + skipped %d != total cycles %d",
+				sched, st.EdgesDelivered, st.EdgesSkipped, total)
+		}
+		if st.EdgesSkipped == 0 {
+			t.Fatalf("%v: idle fast domain skipped no edges", sched)
+		}
+		if sched == Lockstep && st.HeapOps != 0 {
+			t.Fatalf("lockstep scheduler recorded %d heap ops, want 0", st.HeapOps)
+		}
+	}
+	// The n >= 3 event layout is the only one that touches the heap.
+	e := NewEngine()
+	e.SetScheduler(EventDriven)
+	for i, hz := range []int64{4000, 2000, 1000} {
+		e.NewDomain(fmt.Sprintf("d%d", i), hz).Attach(&counter{})
+	}
+	for i := 0; i < 50; i++ {
+		e.step()
+	}
+	if st := e.Stats(); st.HeapOps == 0 {
+		t.Fatal("three-domain event engine recorded no heap ops")
+	}
+}
+
 // alwaysIdle is a Ticker+Idler whose edges are permanent no-ops.
 type alwaysIdle struct{}
 

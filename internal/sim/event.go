@@ -28,6 +28,7 @@ func (e *Engine) heapInit() {
 	for i := len(e.eheap)/2 - 1; i >= 0; i-- {
 		e.siftDown(i)
 	}
+	e.statHeapOps += int64(len(e.eheap))
 }
 
 func (e *Engine) siftDown(i int) {
@@ -73,6 +74,7 @@ func (e *Engine) heapPop() *Domain {
 	if n > 1 {
 		e.siftDown(0)
 	}
+	e.statHeapOps++
 	return d
 }
 
@@ -80,6 +82,7 @@ func (e *Engine) heapPop() *Domain {
 func (e *Engine) heapPush(d *Domain) {
 	e.eheap = append(e.eheap, d)
 	e.siftUp(len(e.eheap) - 1)
+	e.statHeapOps++
 }
 
 // wakeFrom returns the absolute tick of the domain's first non-inert edge

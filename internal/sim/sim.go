@@ -303,6 +303,7 @@ func (d *Domain) skipEdges(k int64) {
 	}
 	d.cycles += k
 	d.nextAt += k * d.ratio
+	d.eng.statSkipped += k
 }
 
 // Name returns the domain name given at creation.
@@ -356,6 +357,41 @@ type Engine struct {
 	// noSkip > 0 suspends idle bulk-skipping (RunCycles needs to hit its
 	// per-domain cycle target exactly, not jump past it).
 	noSkip int
+
+	// Telemetry tallies, maintained off the per-edge hot paths: skipped
+	// edges accrue only inside the (rare) bulk-skip passes and heap ops
+	// only inside the heap mutators. Delivered edges are derived lazily in
+	// Stats from the per-domain cycle counters, so the delivery loops stay
+	// untouched.
+	statSkipped int64
+	statHeapOps int64
+}
+
+// Stats is a snapshot of the engine's scheduling tallies, all monotonic
+// over the engine's lifetime. EdgesDelivered counts domain edges whose
+// tickers actually ran Eval/Update; EdgesSkipped counts edges consumed by
+// idle bulk-skip instead (the two sum to every domain's cycle counter);
+// HeapOps counts event-heap mutations (pushes, pops, and one per domain on
+// each wholesale rebuild) — zero under the lockstep scheduler and the
+// heap-free inline paths.
+type Stats struct {
+	EdgesDelivered int64
+	EdgesSkipped   int64
+	HeapOps        int64
+}
+
+// Stats returns the engine's scheduling tallies. Reporting only: reading
+// them never perturbs the schedule.
+func (e *Engine) Stats() Stats {
+	total := int64(0)
+	for _, d := range e.domains {
+		total += d.cycles
+	}
+	return Stats{
+		EdgesDelivered: total - e.statSkipped,
+		EdgesSkipped:   e.statSkipped,
+		HeapOps:        e.statHeapOps,
+	}
 }
 
 // NewEngine returns an empty engine using the package default scheduler.
@@ -480,6 +516,7 @@ func (e *Engine) soloTick(due, other *Domain) int64 {
 		k := other.nextAt - due.nextAt + 1
 		due.cycles += k
 		due.nextAt += k
+		e.statSkipped += k
 		other.tick()
 		return k
 	}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -170,6 +171,132 @@ func NearestRank(vals []float64, p float64) float64 {
 		i = 0
 	}
 	return vals[i]
+}
+
+// Histogram is a fixed-bucket distribution accumulator for the telemetry
+// layer: samples land in the first bucket whose upper bound is >= the value,
+// with an implicit +Inf bucket past the last bound. Buckets make the state
+// mergeable across independent runs (a fleet folds per-board histograms into
+// one) at the cost of quantile resolution — Quantile interpolates within the
+// winning bucket. All state is exported so snapshots serialise directly.
+type Histogram struct {
+	Bounds []float64 // bucket upper bounds, strictly ascending
+	Counts []uint64  // len(Bounds)+1; the last bucket is (Bounds[last], +Inf)
+	Sum    float64
+	N      uint64
+	Min    float64 // valid while N > 0
+	Max    float64 // valid while N > 0
+}
+
+// NewHistogram returns a histogram over the given bucket upper bounds, which
+// must be strictly ascending and non-empty.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending at %d: %g <= %g",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe accumulates one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.Bounds, v)
+	h.Counts[i]++
+	h.Sum += v
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.N++
+}
+
+// Merge folds o into h. The two histograms must share identical bucket
+// bounds; merging is commutative and associative in the bucket counts and N
+// (exact integer adds), and associative in Sum up to float rounding.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(o.Bounds) != len(h.Bounds) {
+		return fmt.Errorf("stats: merging histograms with %d vs %d bounds", len(o.Bounds), len(h.Bounds))
+	}
+	for i := range h.Bounds {
+		if h.Bounds[i] != o.Bounds[i] {
+			return fmt.Errorf("stats: merging histograms with different bounds at %d: %g vs %g",
+				i, h.Bounds[i], o.Bounds[i])
+		}
+	}
+	if o.N > 0 {
+		if h.N == 0 || o.Min < h.Min {
+			h.Min = o.Min
+		}
+		if h.N == 0 || o.Max > h.Max {
+			h.Max = o.Max
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+	h.N += o.N
+	return nil
+}
+
+// Mean returns the arithmetic mean of the observed samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Quantile estimates the p-quantile (0 < p <= 1) from the bucket counts:
+// the bucket holding the nearest-rank sample is located exactly, and the
+// value is interpolated linearly inside it (clamped to the observed Min/Max,
+// so a single-sample histogram reports that sample). An empty histogram
+// reports an explicit 0, matching NearestRank.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("stats: histogram quantile %v outside (0,1]", p))
+	}
+	rank := uint64(math.Ceil(p * float64(h.N)))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		// The rank-th sample sits in bucket i: interpolate between the
+		// bucket's edges by the rank's position inside it, clamped to the
+		// observed extremes (the implicit +Inf bucket has no upper edge).
+		lo := h.Min
+		if i > 0 && h.Bounds[i-1] > lo {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Max
+		if i < len(h.Bounds) && h.Bounds[i] < hi {
+			hi = h.Bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := float64(rank-cum) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.Max
 }
 
 // Bar renders an ASCII stacked bar of width chars for the given component

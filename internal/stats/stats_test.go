@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -128,6 +129,166 @@ func TestNearestRank(t *testing.T) {
 		}
 	}()
 	NearestRank(vals, 1.5)
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	if h.N != 0 || h.Sum != 0 {
+		t.Fatalf("fresh histogram not empty: N=%d Sum=%v", h.N, h.Sum)
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile(0.99) = %v, want explicit 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v, want 0", got)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	h.Observe(42)
+	if h.N != 1 || h.Sum != 42 || h.Min != 42 || h.Max != 42 {
+		t.Fatalf("single-sample state wrong: %+v", h)
+	}
+	// 42 lands in bucket (10, 100]: index 2.
+	if h.Counts[2] != 1 {
+		t.Fatalf("counts = %v, want sample in bucket 2", h.Counts)
+	}
+	// With one sample, every quantile is that sample (Min/Max clamp the
+	// interpolation down to a point).
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(p); got != 42 {
+			t.Errorf("Quantile(%v) = %v, want 42", p, got)
+		}
+	}
+	if got := h.Mean(); got != 42 {
+		t.Errorf("Mean = %v, want 42", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, v := range []float64{0.5, 1, 1.0001, 10, 11, 1e9} {
+		h.Observe(v)
+	}
+	// Upper bounds are inclusive: 1 → bucket 0, 10 → bucket 1, 11 → +Inf.
+	want := []uint64{2, 2, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Min != 0.5 || h.Max != 1e9 {
+		t.Fatalf("min/max = %v/%v", h.Min, h.Max)
+	}
+}
+
+// TestHistogramMergeAssociativity checks (a⊕b)⊕c == a⊕(b⊕c) over
+// integer-valued samples, where float Sum addition is exact so the whole
+// state — not just the counts — must match bit for bit. This is what lets
+// the fleet layer fold per-board histograms in board order without the fold
+// order leaking into the exported snapshot.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	bounds := []float64{2, 8, 32, 128}
+	build := func(samples ...float64) *Histogram {
+		h := NewHistogram(bounds...)
+		for _, v := range samples {
+			h.Observe(v)
+		}
+		return h
+	}
+	a := build(1, 5, 9)
+	b := build(200, 3)
+	c := build(64, 64, 7, 1)
+
+	left := build()
+	for _, o := range []*Histogram{a, b, c} {
+		if err := left.Merge(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc := build()
+	for _, o := range []*Histogram{b, c} {
+		if err := bc.Merge(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	right := build()
+	if err := right.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge not associative:\n left %+v\nright %+v", left, right)
+	}
+	if left.N != 9 || left.Min != 1 || left.Max != 200 {
+		t.Fatalf("merged aggregate wrong: %+v", left)
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	a := NewHistogram(1, 10)
+	if err := a.Merge(NewHistogram(1, 10, 100)); err == nil {
+		t.Fatal("merge with different bound count did not error")
+	}
+	if err := a.Merge(NewHistogram(1, 20)); err == nil {
+		t.Fatal("merge with different bound values did not error")
+	}
+	b := NewHistogram(1, 10)
+	b.Observe(5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 1 {
+		t.Fatalf("compatible merge lost the sample: %+v", a)
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	h.Observe(2) // bucket [_, 10]
+	for i := 0; i < 9; i++ {
+		h.Observe(15) // nine samples in bucket (10, 20]
+	}
+	// Median rank 5 of 10 is the 4th of 9 samples in bucket (10, 20],
+	// whose edges clamp to [10, 15] (observed Max is 15): 10 + 5*4/9.
+	if want := 10 + 5*4.0/9; h.Quantile(0.5) != want {
+		t.Fatalf("Quantile(0.5) = %v, want %v", h.Quantile(0.5), want)
+	}
+	// All samples identical in a bucket: the clamp collapses the bucket to
+	// a point, so every quantile inside it is exact.
+	same := NewHistogram(10, 20)
+	for i := 0; i < 10; i++ {
+		same.Observe(15)
+	}
+	if got := same.Quantile(0.5); got != 15 {
+		t.Fatalf("all-equal Quantile(0.5) = %v, want 15", got)
+	}
+	// The top quantile reaches the bucket ceiling, clamped to Max.
+	if got := h.Quantile(1); got != 15 {
+		t.Fatalf("Quantile(1) = %v, want 15", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range histogram quantile did not panic")
+		}
+	}()
+	h.Quantile(0)
+}
+
+func TestNewHistogramValidatesBounds(t *testing.T) {
+	for _, c := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", c)
+				}
+			}()
+			NewHistogram(c...)
+		}()
+	}
 }
 
 func TestMsFormatting(t *testing.T) {

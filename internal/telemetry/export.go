@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file holds the snapshot exporters: a Prometheus-style text
+// exposition and a machine-readable JSON dump. Both walk the series in
+// sorted-key order and format floats with strconv's shortest round-trip
+// form, so the bytes are a deterministic function of the meter's state.
+
+// ftoa renders a float in its shortest form that parses back exactly.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// PromText renders the meter as Prometheus text exposition: one
+// "# TYPE" line per metric name, then one "name{labels} value" line per
+// series, sorted. Histograms expose the conventional _bucket (cumulative,
+// with le labels), _sum and _count series. Sampled gauge time series are
+// not part of the exposition (a scrape is a point in time); use JSON for
+// them.
+func (m *Meter) PromText() string {
+	if m == nil {
+		return ""
+	}
+	var b strings.Builder
+	typed := make(map[string]bool)
+	for _, key := range m.sortedKeys() {
+		s := m.series[key]
+		if !typed[s.name] {
+			typed[s.name] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
+		}
+		switch s.kind {
+		case "counter":
+			fmt.Fprintf(&b, "%s %d\n", key, s.counter)
+		case "gauge":
+			fmt.Fprintf(&b, "%s %s\n", key, ftoa(s.gaugeValue()))
+		case "histogram":
+			cum := uint64(0)
+			for i, c := range s.hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.hist.Bounds) {
+					le = ftoa(s.hist.Bounds[i])
+				}
+				fmt.Fprintf(&b, "%s %d\n", bucketKey(s, le), cum)
+			}
+			fmt.Fprintf(&b, "%s %s\n", suffixKey(s, "_sum"), ftoa(s.hist.Sum))
+			fmt.Fprintf(&b, "%s %d\n", suffixKey(s, "_count"), s.hist.N)
+		}
+	}
+	return b.String()
+}
+
+// bucketKey renders name_bucket{labels...,le="bound"} for one histogram
+// bucket line.
+func bucketKey(s *series, le string) string {
+	l := make(Labels, len(s.labels)+1)
+	for k, v := range s.labels {
+		l[k] = v
+	}
+	l["le"] = le
+	return keyOf(s.name+"_bucket", l)
+}
+
+// suffixKey renders name<suffix>{labels...} for _sum/_count lines.
+func suffixKey(s *series, suffix string) string {
+	return keyOf(s.name+suffix, s.labels)
+}
+
+// JSONSeries is one series in the JSON dump.
+type JSONSeries struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Kind   string `json:"kind"`
+
+	Counter uint64  `json:"counter,omitempty"`
+	Gauge   float64 `json:"gauge,omitempty"`
+
+	// Histogram state (kind "histogram" only).
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	N      uint64    `json:"n,omitempty"`
+
+	// Samples is the gauge's sampled time series (kind "gauge" only,
+	// present when the run sampled).
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// JSONDump is the machine-readable snapshot: every series, sorted by key,
+// with sampled gauge time series inline. encoding/json emits map keys
+// sorted, so the bytes are fully deterministic.
+type JSONDump struct {
+	SampleIntervalPs float64      `json:"sample_interval_ps,omitempty"`
+	Series           []JSONSeries `json:"series"`
+}
+
+// Dump builds the JSON snapshot structure.
+func (m *Meter) Dump() *JSONDump {
+	if m == nil {
+		return &JSONDump{Series: []JSONSeries{}}
+	}
+	d := &JSONDump{SampleIntervalPs: m.intervalPs, Series: []JSONSeries{}}
+	for _, key := range m.sortedKeys() {
+		s := m.series[key]
+		js := JSONSeries{Name: s.name, Labels: s.labels, Kind: s.kind}
+		switch s.kind {
+		case "counter":
+			js.Counter = s.counter
+		case "gauge":
+			js.Gauge = s.gaugeValue()
+			js.Samples = s.samples
+		case "histogram":
+			js.Bounds = s.hist.Bounds
+			js.Counts = s.hist.Counts
+			js.Sum = s.hist.Sum
+			js.N = s.hist.N
+		}
+		d.Series = append(d.Series, js)
+	}
+	return d
+}
+
+// DumpJSON renders the dump with stable indentation. (Deliberately not
+// named MarshalJSON: a Meter is not a JSON value, and implementing
+// json.Marshaler would make nested encoding recurse here.)
+func (m *Meter) DumpJSON() ([]byte, error) {
+	return json.MarshalIndent(m.Dump(), "", "  ")
+}
+
+// GaugeSamples returns the sampled time series of the gauge named name
+// whose labels include every given key/value pair (nil when absent or
+// never sampled). Reporting helper for tests and the future
+// feedback-driven dispatcher.
+func (m *Meter) GaugeSamples(name string, kv ...string) []Sample {
+	if m == nil {
+		return nil
+	}
+	want := labelsOf(kv)
+	keys := m.sortedKeys()
+	sort.Strings(keys)
+	for _, key := range keys {
+		s := m.series[key]
+		if s.name != name || s.kind != "gauge" {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.samples
+		}
+	}
+	return nil
+}

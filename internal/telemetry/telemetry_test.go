@@ -1,0 +1,311 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilMeterIsNoOp(t *testing.T) {
+	var m *Meter
+	m.Count("x_total", 1)
+	m.Set("g", 3)
+	m.SetFunc("g2", func() float64 { return 1 })
+	m.Observe("h_ps", 5)
+	m.Advance(1e9)
+	m.Absorb(NewMeter(0), "board", "0")
+	if m.PromText() != "" {
+		t.Fatal("nil meter PromText not empty")
+	}
+	if s := m.GaugeSamples("g"); s != nil {
+		t.Fatal("nil meter has samples")
+	}
+	if _, err := m.Trace().Marshal(); err != nil {
+		t.Fatal(err)
+	}
+	m.Trace().Span(Span{Name: "x"})
+	m.Trace().Instant(Instant{Name: "y"})
+	m.Trace().NameProcess(0, "p")
+	m.Trace().NameThread(0, 0, "t")
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	m := NewMeter(0)
+	m.Count("jobs_total", 1, "path", "staged")
+	m.Count("jobs_total", 2, "path", "staged")
+	m.Count("jobs_total", 5, "path", "stream")
+	live := 7.0
+	m.Set("depth", 3)
+	m.SetFunc("live_depth", func() float64 { return live })
+	live = 9
+
+	out := m.PromText()
+	for _, want := range []string{
+		`jobs_total{path="staged"} 3`,
+		`jobs_total{path="stream"} 5`,
+		"depth 3",
+		"live_depth 9",
+		"# TYPE jobs_total counter",
+		"# TYPE depth gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PromText missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("counter reused as gauge did not panic")
+		}
+	}()
+	m := NewMeter(0)
+	m.Count("x", 1)
+	m.Set("x", 2)
+}
+
+func TestSamplerFillsBoundaries(t *testing.T) {
+	m := NewMeter(100)
+	depth := 0.0
+	m.SetFunc("depth", func() float64 { return depth })
+	m.Advance(50) // no boundary crossed
+	depth = 2
+	m.Advance(250) // boundaries 100, 200 filled with the value seen now
+	depth = 5
+	m.Advance(300) // boundary 300
+	got := m.GaugeSamples("depth")
+	want := []Sample{{100, 2}, {200, 2}, {300, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("samples = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Sampling disabled: no series accumulate.
+	off := NewMeter(0)
+	off.Set("g", 1)
+	off.Advance(1e12)
+	if s := off.GaugeSamples("g"); len(s) != 0 {
+		t.Fatalf("disabled sampler recorded %d samples", len(s))
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	m := NewMeter(0)
+	m.Observe("lat_ps", 5e6) // bucket le=1e7
+	m.Observe("lat_ps", 2e12)
+	out := m.PromText()
+	for _, want := range []string{
+		"# TYPE lat_ps histogram",
+		`lat_ps_bucket{le="1e+07"} 1`,
+		`lat_ps_bucket{le="+Inf"} 2`,
+		"lat_ps_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PromText missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAbsorbFoldsUnderLabel(t *testing.T) {
+	parent := NewMeter(100)
+	for b := 0; b < 2; b++ {
+		child := NewMeter(100)
+		child.Count("faults_total", uint64(b+1))
+		child.Set("depth", float64(10*b))
+		child.Observe("lat_ps", 1e9)
+		child.Advance(100)
+		child.Trace().Span(Span{Name: "exec", Pid: 2 + b, Tid: 0, StartPs: 0, DurPs: 10})
+		parent.Absorb(child, "board", string(rune('0'+b)))
+	}
+	out := parent.PromText()
+	for _, want := range []string{
+		`faults_total{board="0"} 1`,
+		`faults_total{board="1"} 2`,
+		`depth{board="1"} 10`,
+		`lat_ps_count{board="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PromText missing %q:\n%s", want, out)
+		}
+	}
+	if s := parent.GaugeSamples("depth", "board", "1"); len(s) != 1 || s[0].Value != 10 {
+		t.Fatalf("absorbed samples = %+v", s)
+	}
+	raw, err := parent.Trace().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"exec"`)) {
+		t.Fatal("absorbed trace lost the span")
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	build := func() *Meter {
+		m := NewMeter(50)
+		m.Count("b_total", 2)
+		m.Count("a_total", 1, "k", "v")
+		m.Set("g", 4)
+		m.Observe("h_ps", 3e9)
+		m.Advance(120)
+		return m
+	}
+	d1, err := build().DumpJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := build().DumpJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("identical meters dumped different bytes")
+	}
+	var dump JSONDump
+	if err := json.Unmarshal(d1, &dump); err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if len(dump.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(dump.Series))
+	}
+	// Sorted by key: a_total before b_total.
+	if dump.Series[0].Name != "a_total" {
+		t.Fatalf("first series %q, want a_total", dump.Series[0].Name)
+	}
+}
+
+func TestTraceMarshalStructure(t *testing.T) {
+	tr := NewTrace()
+	tr.NameProcess(1, "jobs")
+	tr.NameThread(1, 7, "job 7")
+	tr.Span(Span{Name: "exec", Cat: "job", Pid: 1, Tid: 7, StartPs: 2e6, DurPs: 3e6})
+	tr.Span(Span{Name: "queue", Cat: "job", Pid: 1, Tid: 7, StartPs: 0, DurPs: 2e6})
+	tr.Instant(Instant{Name: "route", Pid: 0, Tid: 0, AtPs: 1e6})
+	raw, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	// 2 metadata + 2 spans + 1 instant.
+	if len(f.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(f.TraceEvents))
+	}
+	if f.TraceEvents[0]["ph"] != "M" {
+		t.Fatal("metadata not first")
+	}
+	// queue (ts 0) sorts before exec (ts 2); ts is in microseconds.
+	var spans []map[string]any
+	for _, ev := range f.TraceEvents {
+		if ev["ph"] == "X" {
+			spans = append(spans, ev)
+		}
+	}
+	if spans[0]["name"] != "queue" || spans[0]["ts"].(float64) != 0 {
+		t.Fatalf("first span = %+v", spans[0])
+	}
+	if spans[1]["ts"].(float64) != 2 || spans[1]["dur"].(float64) != 3 {
+		t.Fatalf("exec span ts/dur = %v/%v, want 2/3 us", spans[1]["ts"], spans[1]["dur"])
+	}
+}
+
+func TestNormalizeClipsOverlap(t *testing.T) {
+	got := normalizeSpans([]Span{
+		{Name: "b", Pid: 1, Tid: 1, StartPs: 5, DurPs: 10},
+		{Name: "a", Pid: 1, Tid: 1, StartPs: 0, DurPs: 8},
+		{Name: "neg", Pid: 1, Tid: 2, StartPs: 3, DurPs: -4},
+	})
+	// Track (1,1): a [0,8), b clipped to [8,15). Track (1,2): neg clamps to 0.
+	if got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("order = %s,%s", got[0].Name, got[1].Name)
+	}
+	if got[1].StartPs != 8 || got[1].DurPs != 7 {
+		t.Fatalf("clipped span = %+v", got[1])
+	}
+	if got[2].DurPs != 0 {
+		t.Fatalf("negative duration not clamped: %+v", got[2])
+	}
+	checkNoOverlap(t, got)
+}
+
+// checkNoOverlap asserts spans are disjoint per (pid, tid) track.
+func checkNoOverlap(t *testing.T, spans []Span) {
+	t.Helper()
+	end := map[[2]int]float64{}
+	for _, s := range spans {
+		k := [2]int{s.Pid, s.Tid}
+		free, seen := end[k]
+		if seen && s.StartPs < free {
+			t.Fatalf("span %q starts at %v before track (%d,%d) is free at %v",
+				s.Name, s.StartPs, s.Pid, s.Tid, free)
+		}
+		if e := s.StartPs + s.DurPs; !seen || e > free {
+			end[k] = e
+		}
+	}
+}
+
+// FuzzTraceMarshal feeds arbitrary span soups through the exporter and
+// asserts the two structural invariants every consumer relies on: the
+// output always parses as trace-event JSON, and "X" spans never overlap
+// on one (pid, tid) track.
+func FuzzTraceMarshal(f *testing.F) {
+	f.Add(int64(3), uint8(2), uint8(2))
+	f.Add(int64(99), uint8(1), uint8(8))
+	f.Add(int64(-7), uint8(5), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, tracks, perTrack uint8) {
+		tr := NewTrace()
+		// A tiny deterministic generator from the fuzzed seed; spans get
+		// arbitrary (possibly overlapping, possibly negative) geometry.
+		x := uint64(seed)
+		next := func() float64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return float64(int64(x>>16)%2_000_000) - 500_000
+		}
+		nt := int(tracks%8) + 1
+		for pid := 0; pid < nt; pid++ {
+			for i := 0; i < int(perTrack%16); i++ {
+				tr.Span(Span{
+					Name: "s", Pid: pid, Tid: int(uint8(x) % 4),
+					StartPs: next(), DurPs: next(),
+				})
+			}
+		}
+		raw, err := tr.Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var parsed struct {
+			TraceEvents []traceEvent `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &parsed); err != nil {
+			t.Fatalf("export does not parse: %v", err)
+		}
+		end := map[[2]int]float64{}
+		for _, ev := range parsed.TraceEvents {
+			if ev.Ph != "X" {
+				continue
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("X span with missing or negative dur: %+v", ev)
+			}
+			k := [2]int{ev.Pid, ev.Tid}
+			free, seen := end[k]
+			if seen && ev.Ts < free {
+				t.Fatalf("span overlaps on track %v: ts %v before free %v", k, ev.Ts, free)
+			}
+			if e := ev.Ts + *ev.Dur; !seen || e > free {
+				end[k] = e
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// This file holds the Chrome trace-event collector. Instrumented code
+// records spans (complete "X" events) and instants ("i" events) in
+// simulated picoseconds; Marshal renders the Perfetto-loadable JSON
+// ({"traceEvents": [...]}, timestamps in microseconds) with a
+// deterministic event order and a per-track normalisation pass that keeps
+// "X" spans non-overlapping on every (pid, tid) track — the invariant the
+// fuzz target pins.
+//
+// Track layout convention (established by rcsched/fleet TraceReport):
+// pid 0 is the scheduler/dispatcher (routing instants), pid 1 is the job
+// view (tid = job ID; queue → config → exec spans), and pid 2+b is board
+// b's slot view (tid = slot; config and exec spans).
+
+// Span is one completed interval on a (pid, tid) track.
+type Span struct {
+	Name    string
+	Cat     string
+	Pid     int
+	Tid     int
+	StartPs float64
+	DurPs   float64
+	Args    map[string]string
+}
+
+// Instant is one point event on a (pid, tid) track.
+type Instant struct {
+	Name string
+	Pid  int
+	Tid  int
+	AtPs float64
+	Args map[string]string
+}
+
+// Trace accumulates events. A nil *Trace is the off switch: every method
+// is a no-op, so instrumented code calls m.Trace().Span(...) without
+// checking the meter.
+type Trace struct {
+	procs    map[int]string
+	threads  map[[2]int]string
+	spans    []Span
+	instants []Instant
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{procs: make(map[int]string), threads: make(map[[2]int]string)}
+}
+
+// NameProcess labels pid's track group.
+func (t *Trace) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.procs[pid] = name
+}
+
+// NameThread labels the (pid, tid) track.
+func (t *Trace) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.threads[[2]int{pid, tid}] = name
+}
+
+// Span records one completed interval. Negative durations are recorded
+// as zero-length (the normalisation pass also enforces this).
+func (t *Trace) Span(s Span) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Instant records one point event.
+func (t *Trace) Instant(i Instant) {
+	if t == nil {
+		return
+	}
+	t.instants = append(t.instants, i)
+}
+
+// absorb folds o's events and names into t (fleet board meters).
+func (t *Trace) absorb(o *Trace) {
+	if t == nil || o == nil {
+		return
+	}
+	for pid, n := range o.procs {
+		t.procs[pid] = n
+	}
+	for k, n := range o.threads {
+		t.threads[k] = n
+	}
+	t.spans = append(t.spans, o.spans...)
+	t.instants = append(t.instants, o.instants...)
+}
+
+// traceEvent is the Chrome trace-event wire form. Ts and Dur are
+// microseconds (the format's unit); ps values are scaled on export.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object Perfetto loads.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+const psPerUs = 1e6
+
+// Marshal renders the trace as Chrome trace-event JSON. The output is
+// deterministic: metadata events first (sorted by pid/tid), then all
+// spans and instants sorted by (ts, pid, tid, name), with "X" spans
+// normalised per (pid, tid) track — sorted by start and clipped so no
+// span starts before the previous one on its track ends. Instrumentation
+// is expected to emit disjoint spans per track (a slot runs one job at a
+// time); the clip turns any violation into a visible truncation instead
+// of an unloadable or misleading trace.
+func (t *Trace) Marshal() ([]byte, error) {
+	if t == nil {
+		return json.Marshal(traceFile{TraceEvents: []traceEvent{}})
+	}
+	events := make([]traceEvent, 0, len(t.procs)+len(t.threads)+len(t.spans)+len(t.instants))
+
+	pids := make([]int, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": t.procs[pid]},
+		})
+	}
+	tkeys := make([][2]int, 0, len(t.threads))
+	for k := range t.threads {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i][0] != tkeys[j][0] {
+			return tkeys[i][0] < tkeys[j][0]
+		}
+		return tkeys[i][1] < tkeys[j][1]
+	})
+	for _, k := range tkeys {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: k[0], Tid: k[1],
+			Args: map[string]string{"name": t.threads[k]},
+		})
+	}
+
+	// Scale to microseconds before normalising: the non-overlap clip then
+	// holds exactly in the emitted numbers, not just before rounding.
+	us := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		s.StartPs /= psPerUs
+		s.DurPs /= psPerUs
+		us[i] = s
+	}
+	var body []traceEvent
+	for _, s := range normalizeSpans(us) {
+		dur := s.DurPs
+		body = append(body, traceEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: s.StartPs, Dur: &dur,
+			Pid: s.Pid, Tid: s.Tid, Args: s.Args,
+		})
+	}
+	for _, i := range t.instants {
+		body = append(body, traceEvent{
+			Name: i.Name, Ph: "i", Ts: i.AtPs / psPerUs,
+			Pid: i.Pid, Tid: i.Tid, Args: i.Args,
+		})
+	}
+	sort.SliceStable(body, func(i, j int) bool {
+		a, b := body[i], body[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Name < b.Name
+	})
+	events = append(events, body...)
+	return json.MarshalIndent(traceFile{TraceEvents: events}, "", " ")
+}
+
+// normalizeSpans sorts spans per (pid, tid) track by start time and clips
+// them so each span begins no earlier than the previous one on its track
+// ends: durations clamp at zero, overlaps shrink to the free interval.
+// The result is non-overlapping per track by construction.
+func normalizeSpans(spans []Span) []Span {
+	out := append([]Span(nil), spans...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.StartPs != b.StartPs {
+			return a.StartPs < b.StartPs
+		}
+		return a.DurPs < b.DurPs
+	})
+	type track struct{ pid, tid int }
+	endOf := make(map[track]float64)
+	for i := range out {
+		s := &out[i]
+		if s.DurPs < 0 {
+			s.DurPs = 0
+		}
+		tr := track{s.Pid, s.Tid}
+		if free, ok := endOf[tr]; ok && s.StartPs < free {
+			end := s.StartPs + s.DurPs
+			s.StartPs = free
+			if end < free {
+				end = free
+			}
+			s.DurPs = end - s.StartPs
+		}
+		// Track the end exactly as a consumer recomputes it (start + dur
+		// in float arithmetic), so the non-overlap invariant survives the
+		// rounding of the clip's own subtraction.
+		endOf[tr] = s.StartPs + s.DurPs
+	}
+	return out
+}

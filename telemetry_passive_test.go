@@ -1,0 +1,181 @@
+// Telemetry passivity and determinism, proven the way PR 8 proved it for
+// observers: a metered run's report is DeepEqual to an unmetered one —
+// over a serving board and over a fleet, under BOTH simulation schedulers
+// — and the exports themselves (metrics JSON, Chrome trace JSON) are a
+// pure function of (config, seed), byte for byte. The recorded scenario
+// corpus doubles as the drift detector: every pinned scenario must still
+// reproduce exactly with telemetry attached.
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/rcsched"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+// telemetrySamplePs is the gauge sampling interval the telemetry tests
+// use: 1 ms of simulated time, fine enough that every run here crosses
+// many boundaries.
+const telemetrySamplePs = 1e9
+
+func telemetryStream(t *testing.T) []rcsched.Job {
+	t.Helper()
+	jobs, err := traffic.Stream(48, 2024, traffic.Spec{Process: traffic.Poisson, RPS: 3200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func telemetryServeConfig(m *telemetry.Meter) rcsched.Config {
+	return rcsched.Config{Policy: "slack", Slots: 2, Stage: true, Admit: rcsched.AdmitReject, Meter: m}
+}
+
+func telemetryFleetConfig(m *telemetry.Meter) fleet.Config {
+	return fleet.Config{Boards: 4, Dispatch: fleet.Affinity, Seed: 11, Board: telemetryServeConfig(nil), Meter: m}
+}
+
+// TestTelemetryPassive is the passivity differential: with telemetry off
+// and on, a serve run and a fleet run produce DeepEqual reports under both
+// the lockstep reference scheduler and the event-driven default.
+func TestTelemetryPassive(t *testing.T) {
+	jobs := telemetryStream(t)
+	for _, ph := range []struct {
+		name  string
+		sched sim.Scheduler
+	}{
+		{"lockstep", sim.Lockstep},
+		{"event", sim.EventDriven},
+	} {
+		t.Run(ph.name, func(t *testing.T) {
+			prev := sim.SetDefaultScheduler(ph.sched)
+			defer sim.SetDefaultScheduler(prev)
+
+			plain, err := rcsched.Serve(telemetryServeConfig(nil), jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			metered, err := rcsched.Serve(telemetryServeConfig(telemetry.NewMeter(telemetrySamplePs)), jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, metered) {
+				t.Error("metering a serve run changed its report")
+			}
+
+			fplain, err := fleet.Run(telemetryFleetConfig(nil), jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmetered, err := fleet.Run(telemetryFleetConfig(telemetry.NewMeter(telemetrySamplePs)), jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fplain, fmetered) {
+				t.Error("metering a fleet run changed its report")
+			}
+		})
+	}
+}
+
+// TestTelemetryExportsDeterministic pins the export side: two same-seed
+// metered fleet runs write byte-identical metrics and trace files, the
+// trace parses as Chrome trace-event JSON with span and instant events,
+// and the sampled queue-depth time series is present and non-empty.
+func TestTelemetryExportsDeterministic(t *testing.T) {
+	jobs := telemetryStream(t)
+	export := func() (metrics, trace []byte) {
+		m := telemetry.NewMeter(telemetrySamplePs)
+		if _, err := fleet.Run(telemetryFleetConfig(m), jobs); err != nil {
+			t.Fatal(err)
+		}
+		metrics, err := m.DumpJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err = m.Trace().Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics, trace
+	}
+	m1, t1 := export()
+	m2, t2 := export()
+	if !bytes.Equal(m1, m2) {
+		t.Error("same-seed fleet runs dumped different metrics bytes")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("same-seed fleet runs exported different trace bytes")
+	}
+
+	var dump telemetry.JSONDump
+	if err := json.Unmarshal(m1, &dump); err != nil {
+		t.Fatalf("metrics dump does not parse: %v", err)
+	}
+	queueSamples := 0
+	for _, s := range dump.Series {
+		if s.Name == "rcsched_queue_depth" {
+			queueSamples += len(s.Samples)
+		}
+	}
+	if queueSamples == 0 {
+		t.Error("no sampled queue-depth time series in the metrics dump")
+	}
+
+	var tf struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(t1, &tf); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	spans, instants := 0, 0
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if spans == 0 || instants == 0 {
+		t.Errorf("trace has %d spans and %d instants; want both non-zero", spans, instants)
+	}
+}
+
+// TestScenarioCorpusMetered replays every pinned scenario with telemetry
+// attached, under both schedulers: zero drift allowed. Passivity over the
+// whole greppable regression corpus, not just the synthetic streams above.
+func TestScenarioCorpusMetered(t *testing.T) {
+	scs := loadScenarioCorpus(t)
+	for _, ph := range []struct {
+		name  string
+		sched sim.Scheduler
+	}{
+		{"lockstep", sim.Lockstep},
+		{"event", sim.EventDriven},
+	} {
+		t.Run(ph.name, func(t *testing.T) {
+			prev := sim.SetDefaultScheduler(ph.sched)
+			defer sim.SetDefaultScheduler(prev)
+			for _, sc := range scs {
+				res, err := scenario.ReplayMetered(sc, "", telemetry.NewMeter(telemetrySamplePs))
+				if err != nil {
+					t.Fatalf("%s: %v", sc.Name, err)
+				}
+				if !res.Pass() {
+					t.Errorf("%s drifted under telemetry:\n%s", sc.Name, res.Text())
+				}
+			}
+		})
+	}
+}
