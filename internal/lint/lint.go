@@ -1,0 +1,163 @@
+// Package lint is the vimlint analyzer suite: five static checks that
+// mechanically enforce the repository's determinism and passivity
+// contracts — simulated output is a pure function of config+seed
+// (bit-identical under both sim schedulers), and observability is
+// strictly passive. The golden-cell and scenario-replay harnesses prove
+// those contracts differentially, run by run; these analyzers reject the
+// violating code before it ever reaches them. Analyzers are written
+// against the internal analysis shim (see internal/lint/analysis) and run
+// over type-checked packages from internal/lint/load; cmd/vimlint is the
+// command-line driver and the root lint_clean_test.go keeps `go test
+// ./...` failing on any new violation.
+//
+// A finding is suppressed by a //lint:allow <analyzer> <reason> directive
+// on the offending line or the line above. The reason is mandatory: an
+// allow without one is itself a diagnostic, so every escape from a
+// contract is written down next to the escape.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Analyzers returns the vimlint suite in its fixed presentation order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Walltime, Seededrand, Maporder, Psunits, Passiveobserver}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one resolved finding: analyzer, position and message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// RunPackage applies the given analyzers (the whole suite when none are
+// named) to one loaded package, applies the //lint:allow directives, and
+// returns the surviving findings sorted by position. Malformed directives
+// (missing reason, unknown analyzer name) are reported as findings of the
+// pseudo-analyzer "allow".
+func RunPackage(pkg *load.Package, analyzers ...*analysis.Analyzer) ([]Diagnostic, error) {
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	allows, diags := parseAllows(pkg)
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				if allows.suppressed(a.Name, posn) {
+					return
+				}
+				dd := Diagnostic{Analyzer: a.Name, Pos: posn, Message: d.Message}
+				if key := dd.String(); !seen[key] {
+					seen[key] = true
+					diags = append(diags, dd)
+				}
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowIndex records the parsed //lint:allow directives of one package:
+// filename -> line -> analyzer names allowed there.
+type allowIndex map[string]map[int]map[string]bool
+
+// suppressed reports whether a directive on the diagnostic's line or the
+// line immediately above covers the named analyzer.
+func (ai allowIndex) suppressed(analyzer string, posn token.Position) bool {
+	lines := ai[posn.Filename]
+	return lines[posn.Line][analyzer] || lines[posn.Line-1][analyzer]
+}
+
+// parseAllows scans every comment of the package for //lint:allow
+// directives. A well-formed directive names a known analyzer and carries
+// a non-empty reason; malformed ones come back as diagnostics so the
+// escape hatch cannot silently rot.
+func parseAllows(pkg *load.Package) (allowIndex, []Diagnostic) {
+	idx := allowIndex{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				// A trailing "// ..." sub-comment (linttest want
+				// expectations) is not part of the directive.
+				if i := strings.Index(text, "//"); i >= 0 {
+					text = text[:i]
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					diags = append(diags, Diagnostic{Analyzer: "allow", Pos: posn,
+						Message: "//lint:allow needs an analyzer name and a reason"})
+				case ByName(fields[0]) == nil:
+					diags = append(diags, Diagnostic{Analyzer: "allow", Pos: posn,
+						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", fields[0])})
+				case len(fields) == 1:
+					diags = append(diags, Diagnostic{Analyzer: "allow", Pos: posn,
+						Message: fmt.Sprintf("//lint:allow %s needs a reason", fields[0])})
+				default:
+					file := idx[posn.Filename]
+					if file == nil {
+						file = map[int]map[string]bool{}
+						idx[posn.Filename] = file
+					}
+					if file[posn.Line] == nil {
+						file[posn.Line] = map[string]bool{}
+					}
+					file[posn.Line][fields[0]] = true
+				}
+			}
+		}
+	}
+	return idx, diags
+}

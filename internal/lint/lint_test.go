@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestSuite pins the analyzer roster: names are stable (they appear in
+// //lint:allow directives and CI output) and every analyzer states its
+// contract in the first Doc line.
+func TestSuite(t *testing.T) {
+	want := []string{"walltime", "seededrand", "maporder", "psunits", "passiveobserver"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if c := a.Contract(); c == "" || strings.Contains(c, "\n") {
+			t.Errorf("%s: bad one-line contract %q", a.Name, c)
+		}
+		if lint.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if lint.ByName("nope") != nil {
+		t.Errorf("ByName accepted an unknown name")
+	}
+}

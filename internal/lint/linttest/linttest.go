@@ -1,0 +1,119 @@
+// Package linttest is a miniature analysistest: it type-checks a fixture
+// package under internal/lint/testdata/src/<name>, runs one vimlint
+// analyzer over it through the same driver path as cmd/vimlint (so the
+// //lint:allow escape hatch is exercised exactly as in production), and
+// compares the findings against `// want "regexp"` comments in the
+// fixture source. Fixtures are real compilable packages and may import
+// repro packages — the loader resolves them from build-cache export data.
+package linttest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// wantRe matches one expectation inside a comment: want "..." or
+// want `...`, with analysistest's quoting conventions.
+var wantRe = regexp.MustCompile("want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// moduleRoot locates the enclosing module directory (go list must run
+// there for ./... patterns and build-cache export data).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		t.Fatalf("not inside a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod)
+}
+
+// want is one expected diagnostic: a line and a message pattern.
+type want struct {
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run type-checks testdata/src/<fixture> (relative to the calling test's
+// directory), applies the analyzer via lint.RunPackage, and verifies the
+// diagnostics match the fixture's want comments exactly — every want
+// fires, nothing unexpected fires.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	loader := load.New(moduleRoot(t))
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := loader.CheckDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	// Collect want expectations, keyed by file then line.
+	wants := map[string][]*want{}
+	nwants := 0
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					raw := m[1]
+					var pat string
+					if raw[0] == '`' {
+						pat = raw[1 : len(raw)-1]
+					} else {
+						var err error
+						if pat, err = strconv.Unquote(raw); err != nil {
+							t.Fatalf("%s: bad want %s: %v", pkg.Fset.Position(c.Pos()), raw, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+					}
+					posn := pkg.Fset.Position(c.Pos())
+					wants[posn.Filename] = append(wants[posn.Filename],
+						&want{line: posn.Line, re: re})
+					nwants++
+				}
+			}
+		}
+	}
+
+	diags, err := lint.RunPackage(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Filename] {
+			if !w.used && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: no diagnostic at line %d matching %q", fixture, w.line, w.re)
+			}
+		}
+	}
+	if testing.Verbose() {
+		t.Logf("%s/%s: %d diagnostics, %d wants", a.Name, fixture, len(diags), nwants)
+	}
+}

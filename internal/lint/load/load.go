@@ -1,0 +1,268 @@
+// Package load type-checks this module's packages for the vimlint
+// analyzers without importing golang.org/x/tools. One `go list -deps
+// -test -export -json` invocation yields, for every dependency, the
+// compiler's export data file from the build cache; dependencies are then
+// imported through go/importer's gc reader while the module's own
+// packages — the ones being analyzed — are parsed and type-checked from
+// source, test files included (in-package test files join their package;
+// external _test packages are checked as a separate package resolving the
+// parent from its export data, so type identities agree with sibling
+// imports of the parent). The same
+// export-data resolver type-checks the analysistest fixtures under
+// internal/lint/testdata, which may therefore import real repro packages.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("repro/internal/sim"; "_test" suffix for external test packages)
+	Dir   string // source directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves and type-checks packages. All packages loaded through
+// one Loader share a FileSet and an export-data importer, so type
+// identities agree across passes (types.Implements works between a
+// source-checked package and its export-loaded dependencies).
+type Loader struct {
+	dir    string // module root: go list runs here
+	fset   *token.FileSet
+	export map[string]string // import path -> export data file
+	gc     types.Importer    // export-data importer (shared cache)
+}
+
+// New returns a Loader rooted at the module directory dir.
+func New(dir string) *Loader {
+	l := &Loader{dir: dir, fset: token.NewFileSet(), export: map[string]string{}}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// goList runs `go list -json` with the given arguments in the module root
+// and decodes the stream of package objects.
+func (l *Loader) goList(args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// isVariant reports whether p is a synthesized test entry (`pkg.test`
+// binary or a recompiled-for-test variant) rather than a plain package.
+func (p *listPkg) isVariant() bool {
+	return p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") ||
+		strings.Contains(p.ImportPath, " [")
+}
+
+// lookup feeds export data files to the gc importer. Paths outside the
+// initial `go list -deps` closure (a fixture importing a standard package
+// the module never uses) resolve lazily with one more go list call.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.export[path]
+	if !ok {
+		pkgs, err := l.goList("-export", "-json=ImportPath,Export", path)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			l.export[p.ImportPath] = p.Export
+		}
+		file = l.export[path]
+	}
+	if file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// overlayImporter resolves the parent package of an external test package
+// to its source-checked form; everything else goes to export data.
+type overlayImporter struct {
+	l       *Loader
+	overlay map[string]*types.Package
+}
+
+func (im overlayImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.overlay[path]; ok {
+		return p, nil
+	}
+	return im.l.gc.Import(path)
+}
+
+// Packages loads, parses and type-checks the module packages matching the
+// given go list patterns (default ./...). With tests true, in-package
+// test files are checked with their package and each non-empty external
+// test package is returned as an additional "<path>_test" package.
+func (l *Loader) Packages(tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"-deps", "-export",
+		"-json=ImportPath,Dir,Name,Export,Standard,DepOnly,ForTest,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles"}
+	if tests {
+		args = append(args, "-test")
+	}
+	listed, err := l.goList(append(args, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.isVariant() {
+			continue
+		}
+		if p.Export != "" {
+			l.export[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var out []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", t.ImportPath)
+		}
+		files := t.GoFiles
+		if tests {
+			files = append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		if tests && len(t.XTestGoFiles) > 0 {
+			// Resolve the parent from export data like every other import,
+			// so a sibling dependency that also imports the parent (exp ->
+			// repro) sees the identical *types.Package. Falling back to the
+			// source-checked parent covers parents with no export data.
+			xt, err := l.check(t.ImportPath+"_test", t.Dir, t.XTestGoFiles, nil)
+			if err != nil {
+				xt, err = l.check(t.ImportPath+"_test", t.Dir, t.XTestGoFiles,
+					map[string]*types.Package{t.ImportPath: pkg.Types})
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xt)
+		}
+	}
+	return out, nil
+}
+
+// CheckDir parses and type-checks every .go file in dir as one package
+// (the fixture loader: dir is not required to be part of the module).
+func (l *Loader) CheckDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	return l.check(dir, dir, files, nil)
+}
+
+// check parses the named files (relative to dir) and type-checks them as
+// the package at path, resolving imports through the overlay then export
+// data.
+func (l *Loader) check(path, dir string, filenames []string, overlay map[string]*types.Package) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: overlayImporter{l, overlay},
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(terrs) > 0 {
+		msgs := make([]string, 0, len(terrs))
+		for i, e := range terrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(terrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type checking %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Maporder flags range-over-map loops whose bodies do order-sensitive
+// work: writing to an io.Writer (the Prometheus/JSON/trace exporters'
+// byte-identity dies here), appending to a slice that escapes the
+// function unsorted, or driving a telemetry sink. Go randomises map
+// iteration order per run, so any of these silently breaks byte-identical
+// output. The sanctioned idiom — collect the keys, sort, range over the
+// sorted slice — is recognised: an append whose target is passed to a
+// sort.*/slices.Sort* call anywhere in the same function is clean, and so
+// is a purely local accumulation that never escapes.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive work (io.Writer writes, escaping appends, telemetry sinks) " +
+		"inside range-over-map: sort keys first",
+	Run: runMaporder,
+}
+
+// ioWriterIface is a structural io.Writer (Write(p []byte) (n int, err
+// error)) built without importing io, so the check works on packages that
+// never mention io themselves.
+var ioWriterIface = func() *types.Interface {
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type())),
+		false)
+	i := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	i.Complete()
+	return i
+}()
+
+func runMaporder(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					maporderFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				maporderFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// scopeInspect walks root like ast.Inspect but does not descend into
+// nested function literals: they are scanned as their own scope.
+func scopeInspect(root ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// maporderFunc checks every range-over-map directly inside one function
+// body, using that body as the scope for the sorted-later and escape
+// analyses.
+func maporderFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	scopeInspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		maporderRange(pass, rng, body)
+		return true
+	})
+}
+
+// maporderRange scans one map-range body for order-sensitive operations.
+func maporderRange(pass *analysis.Pass, rng *ast.RangeStmt, scope *ast.BlockStmt) {
+	appends := map[string]token.Pos{} // append target expr -> first pos
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if why := orderSensitiveCall(pass, n); why != "" {
+				pass.Reportf(n.Pos(), "%s inside range over map: iteration order is "+
+					"nondeterministic; collect and sort the keys first", why)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				key := types.ExprString(n.Lhs[i])
+				if _, seen := appends[key]; !seen {
+					appends[key] = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+	for target, pos := range appends {
+		if sortedInScope(pass, scope, target) {
+			continue
+		}
+		if escapesScope(pass, scope, target) {
+			pass.Reportf(pos, "appending to %s in map-iteration order, and it escapes the "+
+				"function unsorted: sort the keys (or %s) before it is observed", target, target)
+		}
+	}
+}
+
+// orderSensitiveCall classifies a call inside a map-range body, returning
+// a non-empty description when its effect depends on iteration order.
+func orderSensitiveCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	// Method call on an io.Writer or a telemetry type.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && tv.Type != nil {
+			// A method call takes the receiver's address implicitly, so an
+			// addressable value of a pointer-writer counts too.
+			if types.Implements(tv.Type, ioWriterIface) ||
+				types.Implements(types.NewPointer(tv.Type), ioWriterIface) {
+				return "io.Writer method call (" + types.ExprString(call.Fun) + ")"
+			}
+			if t := tv.Type; isTelemetryType(t) {
+				return "telemetry sink call (" + types.ExprString(call.Fun) + ")"
+			}
+		}
+	}
+	if fn := calleeFunc(pass, call); fn != nil {
+		// Package-level printers write to process-global streams.
+		if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "fmt" || pkg.Path() == "log") &&
+			strings.HasPrefix(strings.TrimPrefix(fn.Name(), "F"), "Print") {
+			if pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "F") {
+				return "" // Fprint* already caught via its writer argument
+			}
+			return pkg.Name() + "." + fn.Name() + " (writes to a process-global stream)"
+		}
+	}
+	// A writer handed to any callee is written in iteration order.
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil &&
+			!tv.IsType() && types.Implements(tv.Type, ioWriterIface) {
+			return "io.Writer argument passed to " + types.ExprString(call.Fun)
+		}
+	}
+	return ""
+}
+
+// isTelemetryType reports whether t (after pointer deref) is a named type
+// defined in a telemetry package — the sinks whose call order the
+// exporters' byte-identity depends on.
+func isTelemetryType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "telemetry" || strings.HasSuffix(path, "/telemetry")
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sortFuncs are the sort-family functions whose first argument comes out
+// order-canonical.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedInScope reports whether the expression (by printed form) is
+// sorted by a sort.*/slices.* call anywhere in the function scope — the
+// collect-keys-then-sort idiom.
+func sortedInScope(pass *analysis.Pass, scope *ast.BlockStmt, target string) bool {
+	found := false
+	scopeInspect(scope, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || found {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); (p != "sort" && p != "slices") || !sortFuncs[fn.Name()] {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if types.ExprString(arg) == target {
+			found = true
+			return true
+		}
+		// sort.Sort(byLen(keys)): unwrap a single-argument conversion.
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 &&
+			types.ExprString(ast.Unparen(conv.Args[0])) == target {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// escapesScope reports whether the expression (by printed form) leaves
+// the function: returned, stored into a field/element, placed in a
+// composite literal, spread into another slice, or passed to a non-sort
+// callee. A slice that never escapes cannot leak map order into a Report
+// or an export.
+func escapesScope(pass *analysis.Pass, scope *ast.BlockStmt, target string) bool {
+	matches := func(e ast.Expr) bool { return types.ExprString(ast.Unparen(e)) == target }
+	escaped := false
+	scopeInspect(scope, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// Only a directly returned slice escapes here; appearances
+			// inside larger result expressions are classified by the
+			// composite-literal and call cases below.
+			for _, r := range n.Results {
+				if matches(r) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if matches(el) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !matches(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				switch ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			sortCall := fn != nil && fn.Pkg() != nil &&
+				(fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices") && sortFuncs[fn.Name()]
+			appendCall := isBuiltin(pass, n, "append")
+			for i, arg := range n.Args {
+				if !matches(arg) {
+					continue
+				}
+				if sortCall {
+					continue // order-canonicalising, not an escape
+				}
+				if appendCall && i == 0 {
+					continue // rebuilding the same slice
+				}
+				if isBuiltin(pass, n, "len") || isBuiltin(pass, n, "cap") {
+					continue
+				}
+				escaped = true
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}

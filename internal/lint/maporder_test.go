@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, lint.Maporder, "maporder")
+}
+
+func TestMaporderClean(t *testing.T) {
+	linttest.Run(t, lint.Maporder, "maporder_clean")
+}

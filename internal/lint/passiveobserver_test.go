@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestPassiveobserver(t *testing.T) {
+	linttest.Run(t, lint.Passiveobserver, "passiveobserver")
+}
+
+func TestPassiveobserverClean(t *testing.T) {
+	linttest.Run(t, lint.Passiveobserver, "passiveobserver_clean")
+}

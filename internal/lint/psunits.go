@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Psunits is the unit-hygiene check for the simulated clock. The whole
+// stack carries picoseconds in identifiers suffixed Ps (sim.Engine.NowPs,
+// rcsched deadlines, telemetry sample instants); the carrier types are
+// int64 and float64 scalars, never time.Duration (which would invite
+// wall-clock arithmetic) and never narrower numerics (which would
+// truncate a picosecond clock within milliseconds). Mixing a Ps value
+// arithmetically with an Ms/Us/Ns-suffixed value or a time.Duration is a
+// unit error unless it goes through an explicit conversion: a named
+// factor containing "Per" (psPerUs) or a conversion helper call.
+var Psunits = &analysis.Analyzer{
+	Name: "psunits",
+	Doc: "Ps-suffixed identifiers are picosecond scalars (int64/float64), never mixed with " +
+		"Ms/Us/Ns or time.Duration without an explicit conversion",
+	Run: runPsunits,
+}
+
+func runPsunits(pass *analysis.Pass) (interface{}, error) {
+	// Declared Ps identifiers must carry a picosecond scalar.
+	for ident, obj := range pass.TypesInfo.Defs {
+		if obj == nil || !strings.HasSuffix(ident.Name, "Ps") || ident.Name == "Ps" {
+			continue
+		}
+		var t types.Type
+		switch obj := obj.(type) {
+		case *types.Var, *types.Const:
+			t = obj.Type()
+		case *types.Func:
+			sig := obj.Type().(*types.Signature)
+			if sig.Results().Len() == 0 {
+				continue // XxxPs() with no result: not a unit carrier
+			}
+			t = sig.Results().At(0).Type()
+		default:
+			continue
+		}
+		if !psCarrier(t) {
+			pass.Reportf(ident.Pos(),
+				"%s is suffixed Ps but carries %s: picosecond values must be int64 or float64",
+				ident.Name, t.String())
+		}
+	}
+	// No mixed-unit arithmetic.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || !psArithOp(bin.Op) {
+				return true
+			}
+			l, r := unitFlavour(pass, bin.X), unitFlavour(pass, bin.Y)
+			if l != "" && r != "" && l != r {
+				pass.Reportf(bin.OpPos,
+					"mixed-unit arithmetic: %s (%s) %s %s (%s); convert explicitly "+
+						"(a *Per* factor or a conversion helper) before combining",
+					types.ExprString(bin.X), l, bin.Op, types.ExprString(bin.Y), r)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// psCarrier reports whether t can legitimately hold picoseconds: an
+// int64/float64 scalar (or an untyped constant that defaults to one),
+// possibly behind one level of pointer/slice/array/map-value/chan, or a
+// function whose first result is such a scalar (estimator fields like
+// PickCtx.ExecEstPs). time.Duration is explicitly rejected even though
+// its underlying type is int64: a Ps identifier typed Duration invites
+// time-package arithmetic.
+func psCarrier(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration" {
+			return false
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int64, types.Float64, types.UntypedInt, types.UntypedFloat:
+			return true
+		}
+		return false
+	case *types.Pointer:
+		return psCarrier(u.Elem())
+	case *types.Slice:
+		return psCarrier(u.Elem())
+	case *types.Array:
+		return psCarrier(u.Elem())
+	case *types.Map:
+		return psCarrier(u.Elem())
+	case *types.Chan:
+		return psCarrier(u.Elem())
+	case *types.Signature:
+		return u.Results().Len() > 0 && psCarrier(u.Results().At(0).Type())
+	}
+	return false
+}
+
+// psArithOp reports whether op combines two unit-bearing operands.
+func psArithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// unitFlavour derives the time unit an expression carries from its
+// identifier suffix ("" when neutral): "ps", "ms", "us", "ns", or
+// "duration" for time.Duration-typed expressions. Identifiers containing
+// "Per" are conversion factors (psPerUs) and type conversions are
+// explicit by definition — both neutral.
+func unitFlavour(pass *analysis.Pass, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration" {
+				return "duration"
+			}
+		}
+	}
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.CallExpr:
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return "" // explicit conversion
+		}
+		return unitFlavour(pass, e.Fun)
+	case *ast.BinaryExpr:
+		// A homogeneous sub-expression keeps its flavour; a mixed one was
+		// already reported on its own operator.
+		if l, r := unitFlavour(pass, e.X), unitFlavour(pass, e.Y); l == r {
+			return l
+		}
+		return ""
+	case *ast.UnaryExpr:
+		return unitFlavour(pass, e.X)
+	case *ast.IndexExpr:
+		return unitFlavour(pass, e.X)
+	default:
+		return ""
+	}
+	if strings.Contains(name, "Per") {
+		return "" // conversion factor: psPerUs, BytesPerMs, ...
+	}
+	for _, suf := range [...]string{"Ps", "Ms", "Us", "Ns"} {
+		if strings.HasSuffix(name, suf) && name != suf {
+			return strings.ToLower(suf)
+		}
+	}
+	return ""
+}

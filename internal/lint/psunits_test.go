@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestPsunits(t *testing.T) {
+	linttest.Run(t, lint.Psunits, "psunits")
+}
+
+func TestPsunitsClean(t *testing.T) {
+	linttest.Run(t, lint.Psunits, "psunits_clean")
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Seededrand keeps every random draw attributable to an explicit seed.
+// Package-level math/rand functions (rand.Intn, rand.Float64, ...) pull
+// from the process-global source, whose state depends on everything else
+// that touched it — sharing it across subsystems couples their streams
+// and breaks seeded replay. The rule: construct a local generator with
+// rand.New(rand.NewSource(seed)) where the seed expression flows from a
+// Config.Seed, and pass *rand.Rand down.
+var Seededrand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions and rand.New without an explicit rand.NewSource(seed): " +
+		"all randomness must flow from a Config.Seed",
+	Run: runSeededrand,
+}
+
+// seededrandCtors are the math/rand package-level functions that build
+// generators rather than draw from the global one. rand.New is checked
+// separately at each call site for an explicit NewSource argument.
+var seededrandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand, draws nothing itself
+	"NewPCG":     true, // math/rand/v2: explicit seed pair
+	"NewChaCha8": true, // math/rand/v2: explicit seed
+}
+
+func isMathRand(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2")
+}
+
+func runSeededrand(pass *analysis.Pass) (interface{}, error) {
+	// Global-source draws: any package-level math/rand function that is
+	// not a generator constructor.
+	for ident, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || !isMathRand(fn.Pkg()) {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		if !seededrandCtors[fn.Name()] {
+			pass.Reportf(ident.Pos(),
+				"package-level rand.%s draws from the process-global source: "+
+					"use rand.New(rand.NewSource(seed)) with a seed from the config",
+				fn.Name())
+		}
+	}
+	// rand.New call sites: the source argument must be constructed in
+	// place from an explicit seed expression, not threaded in from afar.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || !isMathRand(callee.Pkg()) || callee.Name() != "New" {
+				return true
+			}
+			if arg, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+				if src := calleeFunc(pass, arg); src != nil && isMathRand(src.Pkg()) &&
+					seededrandCtors[src.Name()] && src.Name() != "New" {
+					return true // rand.New(rand.NewSource(<seed>)): explicit
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"rand.New without an inline rand.NewSource(seed): construct the generator "+
+					"from an explicit seed so the draw stream is attributable to the config")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// calleeFunc resolves a call expression's static callee, or nil (builtin,
+// function value, type conversion).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestSeededrand(t *testing.T) {
+	linttest.Run(t, lint.Seededrand, "seededrand")
+}
+
+func TestSeededrandClean(t *testing.T) {
+	linttest.Run(t, lint.Seededrand, "seededrand_clean")
+}

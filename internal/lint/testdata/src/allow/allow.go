@@ -1,0 +1,31 @@
+// Package allow is a vimlint fixture for the //lint:allow escape hatch:
+// a directive with a reason suppresses the named analyzer on its line or
+// the next one; a directive without a reason, or naming an unknown
+// analyzer, is itself a diagnostic.
+package allow
+
+import "time"
+
+func stampedAbove() int64 {
+	//lint:allow walltime report generation stamps are genuinely wall-clock
+	return time.Now().UnixNano()
+}
+
+func stampedSameLine() time.Time {
+	return time.Now() //lint:allow walltime fixture demonstrates same-line allows
+}
+
+func unexcused() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func wrongAnalyzer() time.Time {
+	//lint:allow seededrand the directive names the wrong analyzer
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+//lint:allow walltime // want `//lint:allow walltime needs a reason`
+
+//lint:allow bogus some reason // want `//lint:allow names unknown analyzer "bogus"`
+
+//lint:allow // want `//lint:allow needs an analyzer name and a reason`

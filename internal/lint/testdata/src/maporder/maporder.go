@@ -1,0 +1,54 @@
+// Package maporder is a vimlint fixture: order-sensitive work inside a
+// range-over-map — writer output, escaping unsorted appends, telemetry
+// sinks — must be flagged.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+func promText(series map[string]float64) string {
+	var b strings.Builder
+	for key, v := range series {
+		fmt.Fprintf(&b, "%s %g\n", key, v) // want `io.Writer argument passed to fmt.Fprintf`
+	}
+	return b.String()
+}
+
+func writerMethod(series map[string]string, w io.Writer) {
+	var b strings.Builder
+	for key := range series {
+		b.WriteString(key)     // want `io.Writer method call`
+		w.Write([]byte(key))   // want `io.Writer method call`
+		io.WriteString(w, key) // want `io.Writer argument passed to io.WriteString`
+		fmt.Println(key, w)    // want `fmt.Println \(writes to a process-global stream\)`
+	}
+}
+
+func escapingAppend(cells map[string]int) []string {
+	var rows []string
+	for k := range cells {
+		rows = append(rows, k) // want `appending to rows in map-iteration order`
+	}
+	return rows
+}
+
+type report struct{ Rows []string }
+
+func fieldEscape(cells map[string]int, r *report) {
+	var rows []string
+	for k := range cells {
+		rows = append(rows, k) // want `appending to rows in map-iteration order`
+	}
+	r.Rows = rows
+}
+
+func sinkCalls(counts map[string]uint64, m *telemetry.Meter) {
+	for k, n := range counts {
+		m.Count("events", n, "key", k) // want `telemetry sink call`
+	}
+}

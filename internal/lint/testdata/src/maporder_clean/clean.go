@@ -1,0 +1,50 @@
+// Package maporderclean is a vimlint fixture: the collect-keys-then-sort
+// idiom, map-to-map copies and purely local accumulations are the
+// sanctioned shapes and must not be flagged.
+package maporderclean
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func collectThenSort(series map[string]float64) string {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %g\n", k, series[k])
+	}
+	return b.String()
+}
+
+func sortSlice(cells map[string]int) []string {
+	var rows []string
+	for k := range cells {
+		rows = append(rows, k)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+func mapCopy(dst, src map[int]string) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func localOnly(cells map[string]int) int {
+	var hits []string
+	total := 0
+	for k, v := range cells {
+		if v > 0 {
+			hits = append(hits, k)
+		}
+		total += v
+	}
+	return total + len(hits)
+}

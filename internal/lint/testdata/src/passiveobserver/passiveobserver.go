@@ -1,0 +1,29 @@
+// Package passiveobserver is a vimlint fixture: a type implementing the
+// serving layer's Observer interface must not assign into the observed
+// parameters — even a by-value write is either an attempt to steer the
+// run or a silent no-op bug.
+package passiveobserver
+
+import "repro/internal/rcsched"
+
+// Mutator implements rcsched.Observer and misbehaves.
+type Mutator struct {
+	finished int
+	last     rcsched.JobReport
+}
+
+var _ rcsched.Observer = (*Mutator)(nil)
+
+func (m *Mutator) JobShed(jr rcsched.JobReport) {
+	jr.LatencyPs = 0 // want `Mutator.JobShed implements rcsched.Observer and must be passive`
+}
+
+func (m *Mutator) JobDispatched(jobID, slot int, atPs float64, path string) {
+	m.finished++ // writing own state is fine
+}
+
+func (m *Mutator) JobFinished(jr rcsched.JobReport) {
+	jr.Faults++       // want `Mutator.JobFinished implements rcsched.Observer and must be passive`
+	jr.Missed = false // want `Mutator.JobFinished implements rcsched.Observer and must be passive`
+	m.last = jr       // copying the report out is fine
+}

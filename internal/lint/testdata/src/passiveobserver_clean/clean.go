@@ -1,0 +1,47 @@
+// Package passiveobserverclean is a vimlint fixture: observers that only
+// read their parameters and write their own state are passive; a type
+// that merely shares method names with the interface without
+// implementing it is out of scope.
+package passiveobserverclean
+
+import (
+	"repro/internal/fleet"
+	"repro/internal/rcsched"
+)
+
+// Recorder implements rcsched.Observer passively.
+type Recorder struct {
+	sheds      []rcsched.JobReport
+	dispatches int
+}
+
+var _ rcsched.Observer = (*Recorder)(nil)
+
+func (r *Recorder) JobShed(jr rcsched.JobReport) {
+	r.sheds = append(r.sheds, jr)
+}
+
+func (r *Recorder) JobDispatched(jobID, slot int, atPs float64, path string) {
+	r.dispatches++
+}
+
+func (r *Recorder) JobFinished(jr rcsched.JobReport) {
+	local := jr
+	local.Slot = -1 // a local copy is the caller's own value
+	_ = local
+}
+
+// PerBoard implements fleet.Observer (one Recorder per board).
+type PerBoard struct{ rec Recorder }
+
+var _ fleet.Observer = (*PerBoard)(nil)
+
+func (p *PerBoard) BoardObserver(board int) rcsched.Observer { return &p.rec }
+
+// NotAnObserver shares a method name with the interface but does not
+// implement it; its parameter writes are someone else's business.
+type NotAnObserver struct{}
+
+func (NotAnObserver) JobFinished(jr rcsched.JobReport) {
+	jr.Slot = 0
+}

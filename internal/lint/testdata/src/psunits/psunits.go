@@ -1,0 +1,42 @@
+// Package psunits is a vimlint fixture: Ps-suffixed identifiers carrying
+// anything but an int64/float64 scalar, and arithmetic mixing picosecond
+// values with other time units, must be flagged.
+package psunits
+
+import "time"
+
+type report struct {
+	LatencyPs float64
+	StartPs   int64
+	WaitPs    time.Duration       // want `WaitPs is suffixed Ps but carries time.Duration`
+	CountPs   int                 // want `CountPs is suffixed Ps but carries int`
+	FinePs    float32             // want `FinePs is suffixed Ps but carries float32`
+	NamePs    func(int) string    // want `NamePs is suffixed Ps but carries func\(int\) string`
+	WhenPs    func(time.Duration) // want `WhenPs is suffixed Ps but carries func\(time.Duration\)`
+}
+
+func budgetPs() uint32 { // want `budgetPs is suffixed Ps but carries uint32`
+	return 0
+}
+
+func narrowed(deadlinePs int32) { // want `deadlinePs is suffixed Ps but carries int32`
+	_ = deadlinePs
+}
+
+const tickMs = 4.0
+
+func mixed(nowPs, lagMs float64, spanUs float64) {
+	_ = nowPs + lagMs  // want `mixed-unit arithmetic`
+	_ = nowPs > tickMs // want `mixed-unit arithmetic`
+	_ = spanUs - nowPs // want `mixed-unit arithmetic`
+	_ = lagMs * spanUs // want `mixed-unit arithmetic`
+}
+
+type engine struct{}
+
+func (engine) NowPs() float64  { return 0 }
+func (engine) TotalMs() string { return "" }
+
+func mixedCalls(e engine, elapsedMs float64) {
+	_ = e.NowPs() + elapsedMs // want `mixed-unit arithmetic`
+}

@@ -1,0 +1,32 @@
+// Package psunitsclean is a vimlint fixture: picosecond scalars used
+// homogeneously, conversion factors named *Per*, and explicit type
+// conversions are the sanctioned shapes and must not be flagged.
+package psunitsclean
+
+import "time"
+
+const psPerUs = 1e6
+
+type report struct {
+	LatencyPs   float64
+	ArrivalPs   float64
+	StartPs     int64
+	DeadlinesPs []float64
+	ByAppPs     map[string]float64
+	ExecEstPs   func(size int) float64 // an estimator returning picoseconds carries them
+}
+
+func homogeneous(r report) float64 {
+	slack := r.LatencyPs - r.ArrivalPs
+	return slack + r.DeadlinesPs[0]
+}
+
+func converted(nowPs float64, d time.Duration) float64 {
+	us := nowPs / psPerUs        // a *Per* factor is an explicit conversion
+	back := us * psPerUs         // and converts in either direction
+	return back + float64(d)*1e3 // an explicit type conversion is neutral
+}
+
+func literals(nowPs float64) float64 {
+	return nowPs/1e9 + 2.5
+}

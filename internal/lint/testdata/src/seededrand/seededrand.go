@@ -1,0 +1,26 @@
+// Package seededrand is a vimlint fixture: draws from the process-global
+// math/rand source and seed-less generator construction must be flagged.
+package seededrand
+
+import "math/rand"
+
+func globalDraws() {
+	_ = rand.Intn(10)        // want `package-level rand.Intn draws from the process-global source`
+	_ = rand.Float64()       // want `package-level rand.Float64 draws from the process-global source`
+	_ = rand.Perm(4)         // want `package-level rand.Perm draws from the process-global source`
+	rand.Shuffle(2, swapNop) // want `package-level rand.Shuffle draws from the process-global source`
+	_ = rand.Int63n(9)       // want `package-level rand.Int63n draws from the process-global source`
+}
+
+func swapNop(i, j int) {}
+
+func laundered(src rand.Source) *rand.Rand {
+	// The seed is hidden behind the Source argument: not attributable.
+	return rand.New(src) // want `rand.New without an inline rand.NewSource`
+}
+
+func indirectSource() *rand.Rand {
+	return rand.New(someSource()) // want `rand.New without an inline rand.NewSource`
+}
+
+func someSource() rand.Source { return rand.NewSource(1) }

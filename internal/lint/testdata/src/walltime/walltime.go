@@ -1,0 +1,23 @@
+// Package walltime is a vimlint fixture: every host-clock read or wait
+// must be flagged.
+package walltime
+
+import "time"
+
+func bad() {
+	_ = time.Now()               // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})  // want `time.Since reads the wall clock`
+	_ = time.Until(time.Time{})  // want `time.Until reads the wall clock`
+	_ = time.NewTimer(0)         // want `time.NewTimer reads the wall clock`
+	_ = time.NewTicker(1)        // want `time.NewTicker reads the wall clock`
+	_ = time.After(1)            // want `time.After reads the wall clock`
+	_ = time.Tick(1)             // want `time.Tick reads the wall clock`
+	_ = time.AfterFunc(1, nil)   // want `time.AfterFunc reads the wall clock`
+}
+
+func indirect() {
+	// Taking the function's value is a read waiting to happen.
+	clock := time.Now // want `time.Now reads the wall clock`
+	_ = clock
+}

@@ -1,0 +1,21 @@
+// Package walltimeclean is a vimlint fixture: pure time.Duration
+// packaging and explicit-instant construction never touch the host clock
+// and must not be flagged.
+package walltimeclean
+
+import "time"
+
+func durations() time.Duration {
+	d := 5 * time.Millisecond
+	d += time.Duration(1e9)
+	return d
+}
+
+func explicitInstant() time.Time {
+	// An instant built from explicit inputs is a pure value.
+	return time.Unix(0, 0).Add(time.Second)
+}
+
+func formatting(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// walltimeBanned is the set of package time functions that read or wait
+// on the host's wall clock. Construction helpers that merely package
+// durations (time.Duration arithmetic, time.Unix on explicit inputs,
+// formatting) are not listed: they are pure.
+var walltimeBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Walltime forbids consulting the host clock. Every simulated result in
+// this repository must be a pure function of config+seed — bit-identical
+// under the lockstep and event-driven schedulers and across hosts — and a
+// single time.Now() in a hot path silently breaks byte-identical replay.
+// Time inside the simulation is the engine's picosecond clock
+// (sim.Engine.NowPs); code that legitimately needs the wall clock (a
+// benchmark report stamping when it was generated) must say so with
+// //lint:allow walltime <reason>.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads (time.Now/Since/Until/Sleep/After/Tick/NewTimer/NewTicker): " +
+		"simulated output must be a pure function of config+seed",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *analysis.Pass) (interface{}, error) {
+	for ident, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		if walltimeBanned[fn.Name()] {
+			pass.Reportf(ident.Pos(),
+				"time.%s reads the wall clock: simulated time only (sim.Engine.NowPs); "+
+					"//lint:allow walltime <reason> if this output is genuinely wall-clock",
+				fn.Name())
+		}
+	}
+	return nil, nil
+}

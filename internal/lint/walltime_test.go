@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestWalltime(t *testing.T) {
+	linttest.Run(t, lint.Walltime, "walltime")
+}
+
+func TestWalltimeClean(t *testing.T) {
+	linttest.Run(t, lint.Walltime, "walltime_clean")
+}
+
+// TestAllowDirective exercises the //lint:allow escape hatch through the
+// walltime analyzer: excused reads are silent, unexcused and
+// wrongly-excused reads fire, and malformed directives are themselves
+// findings.
+func TestAllowDirective(t *testing.T) {
+	linttest.Run(t, lint.Walltime, "allow")
+}

@@ -260,9 +260,14 @@ func (m *Meter) Absorb(child *Meter, labelKey, labelValue string) {
 	}
 	for _, key := range child.order {
 		cs := child.series[key]
-		kv := make([]string, 0, 2*len(cs.labels)+2)
-		for k, v := range cs.labels {
-			kv = append(kv, k, v)
+		names := make([]string, 0, len(cs.labels))
+		for k := range cs.labels {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		kv := make([]string, 0, 2*len(names)+2)
+		for _, k := range names {
+			kv = append(kv, k, cs.labels[k])
 		}
 		kv = append(kv, labelKey, labelValue)
 		switch cs.kind {

@@ -3,6 +3,7 @@ package vim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/copro"
 	"repro/internal/imu"
@@ -51,11 +52,12 @@ func (s *Session) Config() Config { return s.cfg }
 // Manager returns the owning manager.
 func (s *Session) Manager() *Manager { return s.m }
 
-// Objects returns the mapped objects (tests, reports).
+// Objects returns the mapped objects in ascending ID order (tests,
+// reports).
 func (s *Session) Objects() []Object {
 	out := make([]Object, 0, len(s.objects))
-	for _, o := range s.objects {
-		out = append(out, *o)
+	for _, id := range s.sortedIDs() {
+		out = append(out, *s.objects[id])
 	}
 	return out
 }
@@ -163,11 +165,7 @@ func (s *Session) sortedIDs() []uint8 {
 	for id := range s.objects {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
-			ids[j-1], ids[j] = ids[j], ids[j-1]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

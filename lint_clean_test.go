@@ -1,0 +1,35 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// TestLintClean runs the full vimlint suite — walltime, seededrand,
+// maporder, psunits, passiveobserver — over every package in the module,
+// test files included. The determinism and passivity contracts the
+// analyzers enforce are the precondition for every golden-cell and
+// scenario-replay test in this file's siblings, so a violation anywhere
+// is a tier-1 failure, not a style nit. Suppressions require an in-source
+// //lint:allow <analyzer> <reason> directive, which the suite itself
+// validates.
+func TestLintClean(t *testing.T) {
+	pkgs, err := load.New(".").Packages(true, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader found no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
